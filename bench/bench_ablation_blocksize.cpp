@@ -1,0 +1,50 @@
+// Ablation: the BSIZE = 25 choice (§6: "if the block size is too large,
+// the available parallelism will be reduced").
+//
+// Sweep the supernode width cap and report: padded storage, the BLAS-3
+// share of flops, modeled sequential time, and 2D parallel time at 32
+// processors. The expected U-shape: small blocks lose BLAS-3 benefit,
+// huge blocks lose parallelism.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/lu_2d.hpp"
+#include "core/task_model.hpp"
+
+using namespace sstar;
+
+int main(int argc, char** argv) {
+  auto opt = bench::Options::parse(argc, argv);
+  bench::print_preamble("Ablation — supernode width cap (BSIZE)", opt);
+
+  for (const auto& name : opt.select({"goodwin", "sherman5"})) {
+    TextTable table(name + ": block-size sweep (T3E)");
+    table.set_header({"BSIZE", "blocks", "stored/struct", "BLAS3 share",
+                      "seq model s", "2D P=32 s"});
+    for (const int bs : {4, 8, 16, 25, 32, 50}) {
+      bench::Options o = opt;
+      o.max_block = bs;
+      const auto p = bench::prepare_matrix(name, o, false);
+      const auto& lay = *p.setup.layout;
+      const auto f = total_model_flops(lay);
+      const auto m1 = sim::MachineModel::cray_t3e(1);
+      const double seq = m1.compute_seconds(
+          static_cast<double>(f.blas1), static_cast<double>(f.blas2),
+          static_cast<double>(f.blas3));
+      const auto m32 = sim::MachineModel::cray_t3e(32);
+      const double par = run_2d(lay, m32, true).seconds;
+      table.add_row(
+          {std::to_string(bs), fmt_count(lay.num_blocks()),
+           fmt_double(static_cast<double>(lay.stored_entries()) /
+                          static_cast<double>(lay.structure_entries()),
+                      2),
+           fmt_percent(static_cast<double>(f.blas3) /
+                           static_cast<double>(f.total()),
+                       1),
+           fmt_double(seq, 3), fmt_double(par, 4)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Table 2: sequential performance, S* vs SuperLU.
+//
+// For each machine model (T3D, T3E) we report the modeled execution
+// times: S* from its exact BLAS-1/2/3 flop split at the machine's
+// measured kernel rates, SuperLU from the paper's own §6.1 model
+// T_SuperLU = (1 + h) * w2 * C with the baseline's exact op count C and
+// h = 0.5 (the paper bounds h < 0.82 for these matrices). The ratio
+// column reproduces the paper's finding that S* stays competitive (0.4x
+// to ~2x) despite executing several times more flops, because BLAS-3
+// absorbs them. Host wall-clock times for both real codes are printed
+// as a sanity column; absolute values reflect this container's CPU, not
+// a Cray node.
+#include <cstdio>
+
+#include "baseline/gplu.hpp"
+#include "common.hpp"
+#include "core/numeric.hpp"
+#include "sim/machine.hpp"
+#include "util/timer.hpp"
+
+using namespace sstar;
+
+namespace {
+constexpr double kSuperluSymbolicOverhead = 0.5;  // the paper's "h"
+
+double sstar_model_seconds(const blas::FlopCount& f,
+                           const sim::MachineModel& m) {
+  return m.compute_seconds(static_cast<double>(f.blas1),
+                           static_cast<double>(f.blas2),
+                           static_cast<double>(f.blas3));
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::print_preamble("Table 2 — sequential performance: S* vs SuperLU",
+                        opt);
+
+  std::vector<std::string> names = gen::small_set();
+  names.push_back("goodwin");
+  names.push_back("b33_5600");
+  names.push_back("dense1000");
+
+  const auto t3d = sim::MachineModel::cray_t3d(1);
+  const auto t3e = sim::MachineModel::cray_t3e(1);
+
+  TextTable table("modeled seconds (and MFLOPS by the paper's formula)");
+  table.set_header({"matrix", "S* T3D", "S* T3E", "SuperLU T3D",
+                    "SuperLU T3E", "ratio T3D", "ratio T3E", "MF T3E",
+                    "host S*", "host GPLU"});
+  for (const auto& name : opt.select(names)) {
+    auto p = bench::prepare_matrix(name, opt, /*need_gplu=*/false);
+
+    // Real numeric runs on the host (exact flop split + wall times).
+    SStarNumeric num(*p.setup.layout);
+    num.assemble(p.setup.permuted);
+    WallTimer t_sstar;
+    num.factorize();
+    const double host_sstar = t_sstar.seconds();
+
+    WallTimer t_gplu;
+    const auto gplu = baseline::gplu_factor(p.setup.permuted);
+    const double host_gplu = t_gplu.seconds();
+
+    const auto f = num.stats().flops;
+    const double s_t3d = sstar_model_seconds(f, t3d);
+    const double s_t3e = sstar_model_seconds(f, t3e);
+    const double c = static_cast<double>(gplu.flops);
+    const double slu_t3d =
+        (1.0 + kSuperluSymbolicOverhead) * c / t3d.blas2_rate;
+    const double slu_t3e =
+        (1.0 + kSuperluSymbolicOverhead) * c / t3e.blas2_rate;
+
+    table.add_row({p.name, fmt_double(s_t3d, 3), fmt_double(s_t3e, 3),
+                   fmt_double(slu_t3d, 3), fmt_double(slu_t3e, 3),
+                   fmt_double(s_t3d / slu_t3d, 2),
+                   fmt_double(s_t3e / slu_t3e, 2),
+                   fmt_double(c / s_t3e / 1e6, 1),
+                   fmt_double(host_sstar, 3), fmt_double(host_gplu, 3)});
+  }
+  table.set_footnote(
+      "paper shape: S*/SuperLU time ratio ~0.4-2 despite the flop "
+      "overestimate; dense1000 ~0.48 (T3D) / 0.42 (T3E). MFLOPS uses "
+      "SuperLU op counts (paper's formula, Section 6).");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Table 3: absolute performance (MFLOPS) of the 1D RAPID-style code on
+// T3D and T3E for P = 2..64.
+//
+// MFLOPS follow the paper's formula: SuperLU-equivalent operation count
+// divided by simulated parallel time. The shape to reproduce: steady
+// growth with P that flattens beyond 32 for the small matrices (limited
+// parallelism) while the larger matrices keep scaling, and a ~3x T3E/T3D
+// gap tracking the DGEMM rate gap.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/lu_1d.hpp"
+
+using namespace sstar;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::print_preamble("Table 3 — absolute MFLOPS of the 1D graph-scheduled code",
+                        opt);
+
+  std::vector<std::string> names = gen::small_set();
+  names.push_back("goodwin");
+  names.push_back("e40r0100");
+  names.push_back("b33_5600");
+
+  const std::vector<int> procs = {2, 4, 8, 16, 32, 64};
+  for (const char* machine_name : {"T3D", "T3E"}) {
+    TextTable table(std::string("1D RAPID-style code, Cray-") +
+                    machine_name + " (MFLOPS)");
+    std::vector<std::string> header = {"matrix"};
+    for (const int p : procs) header.push_back("P=" + std::to_string(p));
+    table.set_header(header);
+    for (const auto& name : opt.select(names)) {
+      const auto p = bench::prepare_matrix(name, opt, /*need_gplu=*/true);
+      std::vector<std::string> row = {bench::matrix_label(p)};
+      for (const int np : procs) {
+        const auto m = (machine_name[2] == 'D'
+                            ? sim::MachineModel::cray_t3d(np)
+                            : sim::MachineModel::cray_t3e(np))
+                           .with_grid({1, np});
+        const auto res = run_1d(*p.setup.layout, m, Schedule1DKind::kGraph);
+        row.push_back(fmt_double(res.mflops(
+                                     static_cast<double>(p.superlu_ops)),
+                                 1));
+      }
+      table.add_row(row);
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "paper shape: growth with P flattening past 32 nodes for small "
+      "matrices; goodwin/e40r0100/b33_5600 keep scaling; T3E ~3x T3D.\n");
+  return 0;
+}

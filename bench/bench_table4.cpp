@@ -1,0 +1,72 @@
+// Table 4: parallel-time improvement from supernode amalgamation,
+// 1 - PT_amalgamated / PT_plain on the 1D graph-scheduled code.
+//
+// The paper's exact percentages (T3E) are printed beside ours for shape
+// comparison: amalgamation buys tens of percent for the stencil/fluid
+// matrices and less for the already-chunky ones.
+#include <cstdio>
+
+#include <array>
+#include <map>
+
+#include "common.hpp"
+#include "core/lu_1d.hpp"
+#include "supernode/partition.hpp"
+
+using namespace sstar;
+
+namespace {
+// Table 4 of the paper (percent, P = 1..32).
+const std::map<std::string, std::array<double, 6>> kPaper = {
+    {"sherman5", {47, 47, 46, 50, 40, 43}},
+    {"lnsp3937", {50, 51, 53, 53, 51, 39}},
+    {"lns3937", {53, 54, 54, 54, 51, 35}},
+    {"sherman3", {20, 25, 23, 28, 22, 14}},
+    {"jpwh991", {48, 48, 48, 50, 47, 40}},
+    {"orsreg1", {16, 18, 18, 26, 15, 10}},
+    {"saylr4", {21, 22, 23, 23, 30, 18}},
+};
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = bench::Options::parse(argc, argv);
+  bench::print_preamble(
+      "Table 4 — parallel-time improvement from supernode amalgamation",
+      opt);
+
+  const std::vector<int> procs = {1, 2, 4, 8, 16, 32};
+  TextTable table("1 - PT_amalgamated/PT_plain, ours | paper (T3E)");
+  std::vector<std::string> header = {"matrix"};
+  for (const int p : procs) header.push_back("P=" + std::to_string(p));
+  table.set_header(header);
+
+  for (const auto& name : opt.select(gen::small_set())) {
+    // Prepare both layouts on one generated matrix.
+    bench::Options plain = opt;
+    plain.amalg = 0;
+    const auto pa = bench::prepare_matrix(name, opt, false);   // r = amalg
+    const auto pp = bench::prepare_matrix(name, plain, false); // r = 0
+
+    std::vector<std::string> row = {bench::matrix_label(pa)};
+    const auto paper_it = kPaper.find(name);
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      const int np = procs[i];
+      const auto m = sim::MachineModel::cray_t3e(np).with_grid({1, np});
+      const double with =
+          run_1d(*pa.setup.layout, m, Schedule1DKind::kGraph).seconds;
+      const double without =
+          run_1d(*pp.setup.layout, m, Schedule1DKind::kGraph).seconds;
+      std::string cell = fmt_percent(1.0 - with / without, 0);
+      if (paper_it != kPaper.end())
+        cell += " | " + fmt_double(paper_it->second[i], 0) + "%";
+      row.push_back(cell);
+    }
+    table.add_row(row);
+  }
+  table.set_footnote(
+      "paper shape: 10-55% improvement, largest for matrices with tiny "
+      "natural supernodes, shrinking at 32 procs as granularity trades "
+      "against parallelism.");
+  table.print();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared infrastructure for the table/figure benchmark harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper's
+// evaluation (see DESIGN.md's per-experiment index) and prints rows in
+// the paper's shape, with the paper's own numbers alongside where the
+// provided text preserves them legibly.
+//
+// Flags (all optional):
+//   --full            run replicas at full published sizes
+//   --scale=<f>       override the scale of every matrix
+//   --seed=<n>        generator seed (default 1)
+//   --max-block=<n>   supernode width cap (default 25, the paper's BSIZE)
+//   --amalg=<n>       amalgamation factor r (default 4)
+//   --matrices=a,b,c  restrict to the named suite matrices
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/gplu.hpp"
+#include "matrix/suite.hpp"
+#include "solve/solver.hpp"
+#include "util/table.hpp"
+
+namespace sstar::bench {
+
+struct Options {
+  bool full = false;
+  std::optional<double> scale_override;
+  std::uint64_t seed = 1;
+  int max_block = 25;
+  int amalg = 4;
+  std::vector<std::string> only;
+
+  static Options parse(int argc, char** argv);
+
+  /// Default scales keep single-core runs tractable: small matrices run
+  /// at full published size, the paper's "large matrices" group at 0.3.
+  double scale_for(const gen::SuiteEntry& e) const;
+
+  /// Filtered + ordered list of suite names to run.
+  std::vector<std::string> select(const std::vector<std::string>& names) const;
+
+  SolverOptions solver_options() const;
+};
+
+/// One matrix, fully prepared for experiments.
+struct Prepared {
+  std::string name;
+  int order = 0;
+  SparseMatrix a;
+  SolverSetup setup;
+  /// SuperLU-equivalent op count (the paper's MFLOPS denominator) and
+  /// factor entries; present when `need_gplu` was set.
+  std::int64_t superlu_ops = 0;
+  std::int64_t superlu_entries = 0;
+};
+
+/// Generate the replica and run the symbolic pipeline (+ optionally the
+/// GPLU baseline for op counts).
+Prepared prepare_matrix(const std::string& name, const Options& opt,
+                        bool need_gplu);
+
+/// "name (n=1234)" row label.
+std::string matrix_label(const Prepared& p);
+
+/// Format "x.xx" or "-" for a missing paper value (<= 0).
+std::string paper_cell(double v, int precision = 1);
+
+/// Print the standard bench preamble (matrix scales, options).
+void print_preamble(const std::string& what, const Options& opt);
+
+}  // namespace sstar::bench

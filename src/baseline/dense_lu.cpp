@@ -1,0 +1,76 @@
+#include "baseline/dense_lu.hpp"
+
+#include <cmath>
+
+#include "blas/dense_blas.hpp"
+#include "util/check.hpp"
+
+namespace sstar::baseline {
+
+DenseMatrix DenseLU::l_factor() const {
+  DenseMatrix l(n, n);
+  for (int j = 0; j < n; ++j) {
+    l(j, j) = 1.0;
+    for (int i = j + 1; i < n; ++i) l(i, j) = lu(i, j);
+  }
+  return l;
+}
+
+DenseMatrix DenseLU::u_factor() const {
+  DenseMatrix u(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i <= j; ++i) u(i, j) = lu(i, j);
+  return u;
+}
+
+std::vector<double> DenseLU::solve(const std::vector<double>& b) const {
+  SSTAR_CHECK(static_cast<int>(b.size()) == n);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) x[perm[i]] = b[i];  // x = P b
+  blas::dtrsv_lower_unit(n, lu.data(), lu.ld(), x.data());
+  blas::dtrsv_upper(n, lu.data(), lu.ld(), x.data());
+  return x;
+}
+
+DenseLU dense_lu_factor(const DenseMatrix& a) {
+  SSTAR_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+  DenseLU f;
+  f.n = n;
+  f.lu = a;
+  // row_at[i] = original row currently sitting at position i.
+  std::vector<int> row_at(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) row_at[i] = i;
+
+  double* d = f.lu.data();
+  const int ld = f.lu.ld();
+  for (int k = 0; k < n; ++k) {
+    double* colk = d + static_cast<std::ptrdiff_t>(k) * ld;
+    const int rel = blas::idamax(n - k, colk + k);
+    const int piv = k + rel;
+    SSTAR_CHECK_MSG(std::fabs(colk[piv]) > 0.0,
+                    "matrix is singular at column " << k);
+    if (piv != k) {
+      blas::dswap(n, d + k, d + piv, ld, ld);
+      std::swap(row_at[k], row_at[piv]);
+      ++f.pivot_swaps;
+    }
+    const double inv = 1.0 / colk[k];
+    blas::dscal(n - k - 1, inv, colk + k + 1);
+    if (k + 1 < n)
+      blas::dger(n - k - 1, n - k - 1, -1.0, colk + k + 1,
+                 d + static_cast<std::ptrdiff_t>(k + 1) * ld + k,
+                 d + static_cast<std::ptrdiff_t>(k + 1) * ld + k + 1, ld,
+                 /*incx=*/1, /*incy=*/ld);
+  }
+
+  f.perm.assign(static_cast<std::size_t>(n), -1);
+  for (int i = 0; i < n; ++i) f.perm[row_at[i]] = i;
+  return f;
+}
+
+DenseLU dense_lu_factor(const SparseMatrix& a) {
+  return dense_lu_factor(a.to_dense());
+}
+
+}  // namespace sstar::baseline

@@ -1,0 +1,41 @@
+// Dense Gaussian elimination with partial pivoting.
+//
+// Serves two roles: the correctness oracle for every sparse
+// factorization path in the test suite, and the "dense1000" comparison
+// row of Table 2 (a dense matrix is the degenerate case where S* and
+// SuperLU do identical work, which the paper uses to calibrate the
+// w2/w3 model).
+#pragma once
+
+#include <vector>
+
+#include "matrix/sparse.hpp"
+
+namespace sstar::baseline {
+
+/// Result of dense PA = LU.
+struct DenseLU {
+  int n = 0;
+  /// Packed factors: strictly lower part holds L (unit diagonal
+  /// implied), upper part holds U.
+  DenseMatrix lu;
+  /// perm[i] = position of original row i in PA (original -> permuted).
+  std::vector<int> perm;
+  /// Number of off-diagonal pivots chosen (pivot row != current row).
+  int pivot_swaps = 0;
+
+  DenseMatrix l_factor() const;
+  DenseMatrix u_factor() const;
+
+  /// Solve A x = b via Ly = Pb, Ux = y.
+  std::vector<double> solve(const std::vector<double>& b) const;
+};
+
+/// Factor a dense matrix. Throws CheckError on an exactly-zero pivot
+/// column (singular matrix).
+DenseLU dense_lu_factor(const DenseMatrix& a);
+
+/// Convenience: factor a sparse matrix densely.
+DenseLU dense_lu_factor(const SparseMatrix& a);
+
+}  // namespace sstar::baseline

@@ -1,0 +1,238 @@
+#include "baseline/gplu.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sstar::baseline {
+
+namespace {
+
+// Depth-first reach: find all pivot positions k whose L column updates
+// column j, given the nonzero original rows of A(:, j). Emits a
+// topological order (reverse-finished DFS) into `topo`.
+class Reach {
+ public:
+  explicit Reach(int n)
+      : mark_(static_cast<std::size_t>(n), -1),
+        cursor_(static_cast<std::size_t>(n), 0) {}
+
+  // pinv[orig row] = pivot position or -1; l_rows[k] = original rows of
+  // L column at pivot position k; dfs_len[k] = how many leading entries
+  // of l_rows[k] the traversal must visit (symmetric pruning shortens
+  // this; < 0 means the full column).
+  void run(int j, const std::vector<int>& a_rows,
+           const std::vector<int>& pinv,
+           const std::vector<std::vector<int>>& l_rows,
+           const std::vector<int>& dfs_len, std::vector<int>& topo) {
+    topo.clear();
+    for (const int r : a_rows) {
+      const int k = pinv[r];
+      if (k >= 0 && mark_[k] != j) dfs(j, k, pinv, l_rows, dfs_len, topo);
+    }
+    // topo currently holds reverse-topological (finish) order; callers
+    // iterate it backwards.
+  }
+
+ private:
+  void dfs(int j, int k0, const std::vector<int>& pinv,
+           const std::vector<std::vector<int>>& l_rows,
+           const std::vector<int>& dfs_len, std::vector<int>& topo) {
+    stack_.clear();
+    stack_.push_back(k0);
+    mark_[k0] = j;
+    cursor_[k0] = 0;
+    while (!stack_.empty()) {
+      const int k = stack_.back();
+      bool descended = false;
+      auto& cur = cursor_[k];
+      const auto& rows = l_rows[k];
+      const int limit = dfs_len[k] >= 0 ? dfs_len[k]
+                                        : static_cast<int>(rows.size());
+      while (cur < limit) {
+        const int child = pinv[rows[cur++]];
+        if (child >= 0 && mark_[child] != j) {
+          mark_[child] = j;
+          cursor_[child] = 0;
+          stack_.push_back(child);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        topo.push_back(k);
+        stack_.pop_back();
+      }
+    }
+  }
+
+  std::vector<int> mark_;
+  std::vector<int> cursor_;
+  std::vector<int> stack_;
+};
+
+}  // namespace
+
+GpluResult gplu_factor(const SparseMatrix& a, double pivot_threshold) {
+  SSTAR_CHECK(a.rows() == a.cols());
+  SSTAR_CHECK(pivot_threshold > 0.0 && pivot_threshold <= 1.0);
+  const int n = a.rows();
+
+  GpluResult r;
+  r.n = n;
+  r.l_rows.resize(n);
+  r.l_vals.resize(n);
+  r.u_pos.resize(n);
+  r.u_vals.resize(n);
+  r.u_diag.assign(n, 0.0);
+  r.perm.assign(n, -1);
+  std::vector<int> prow(n, -1);  // pivot position -> original row
+
+  std::vector<double> x(static_cast<std::size_t>(n), 0.0);
+  std::vector<int> xrows;         // original rows with x != 0 (pattern)
+  std::vector<int> xmark(static_cast<std::size_t>(n), -1);
+  std::vector<int> topo;
+  std::vector<int> dfs_len(static_cast<std::size_t>(n), -1);  // -1: unpruned
+  Reach reach(n);
+
+  for (int j = 0; j < n; ++j) {
+    // Scatter A(:, j).
+    xrows.clear();
+    std::vector<int> a_rows;
+    for (int p = a.col_begin(j); p < a.col_end(j); ++p) {
+      const int row = a.row_idx()[p];
+      x[row] = a.values()[p];
+      xmark[row] = j;
+      xrows.push_back(row);
+      a_rows.push_back(row);
+    }
+
+    // Symbolic reach + numeric left-looking updates in topological
+    // order.
+    reach.run(j, a_rows, r.perm, r.l_rows, dfs_len, topo);
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const int k = *it;
+      // A column can be reached purely structurally while its pivot row
+      // was never touched numerically this column (every updater had a
+      // zero multiplier); x then still holds a stale value from an
+      // earlier column, so consult the touch mark.
+      const double xk = xmark[prow[k]] == j ? x[prow[k]] : 0.0;
+      // U entry at pivot position k.
+      r.u_pos[j].push_back(k);
+      r.u_vals[j].push_back(xk);
+      if (xk == 0.0) continue;
+      const auto& rows = r.l_rows[k];
+      const auto& vals = r.l_vals[k];
+      for (std::size_t e = 0; e < rows.size(); ++e) {
+        const int row = rows[e];
+        if (xmark[row] != j) {
+          xmark[row] = j;
+          x[row] = 0.0;
+          xrows.push_back(row);
+        }
+        x[row] -= vals[e] * xk;
+      }
+      r.flops += 2 * static_cast<std::int64_t>(rows.size());
+    }
+
+    // Pivot among non-pivotal rows.
+    double cmax = 0.0;
+    int pivot = -1;
+    double diag_val = 0.0;
+    bool have_diag = false;
+    for (const int row : xrows) {
+      if (r.perm[row] >= 0) continue;  // already pivotal (a U entry)
+      const double v = std::fabs(x[row]);
+      if (v > cmax) {
+        cmax = v;
+        pivot = row;
+      }
+      if (row == j) {
+        diag_val = v;
+        have_diag = true;
+      }
+    }
+    SSTAR_CHECK_MSG(pivot >= 0 && cmax > 0.0,
+                    "GPLU: no pivot in column " << j);
+    if (have_diag && diag_val >= pivot_threshold * cmax) pivot = j;
+    if (pivot != j) ++r.off_diagonal_pivots;
+
+    const double pval = x[pivot];
+    r.perm[pivot] = j;
+    prow[j] = pivot;
+    r.u_diag[j] = pval;
+
+    // L column j: remaining non-pivotal rows, scaled. Exact numerical
+    // zeros at structural positions are KEPT (SuperLU semantics): the
+    // symmetric-pruning coverage argument is structural, so dropping
+    // them could sever a covering path in the reach graph.
+    for (const int row : xrows) {
+      if (r.perm[row] >= 0) continue;
+      r.l_rows[j].push_back(row);
+      r.l_vals[j].push_back(x[row] / pval);
+    }
+    r.flops += static_cast<std::int64_t>(r.l_rows[j].size());
+
+    r.l_nnz += static_cast<std::int64_t>(r.l_rows[j].size());
+    r.u_nnz += static_cast<std::int64_t>(r.u_pos[j].size()) + 1;  // + diag
+
+    // Symmetric pruning (Eisenstat-Liu, SuperLU's pruneL): if U(k, j)
+    // and L(pivrow_j, k) are both nonzero, later reaches from column k
+    // can route through column j, so k's traversal may be shortened to
+    // the rows that are pivotal right now (their edges are not covered
+    // by j). Entries keep their values; only the DFS window shrinks.
+    for (std::size_t e = 0; e < r.u_pos[j].size(); ++e) {
+      const int k = r.u_pos[j][e];
+      if (dfs_len[k] >= 0 || r.u_vals[j][e] == 0.0) continue;
+      auto& rows = r.l_rows[k];
+      auto& vals = r.l_vals[k];
+      bool contains_pivot = false;
+      for (std::size_t i = 0; i < rows.size() && !contains_pivot; ++i)
+        contains_pivot = rows[i] == pivot;  // structural edge k -> j
+      if (!contains_pivot) continue;
+      std::size_t front = 0;
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (r.perm[rows[i]] >= 0) {
+          std::swap(rows[i], rows[front]);
+          std::swap(vals[i], vals[front]);
+          ++front;
+        }
+      }
+      dfs_len[k] = static_cast<int>(front);
+    }
+  }
+  return r;
+}
+
+std::vector<double> GpluResult::solve(const std::vector<double>& b) const {
+  SSTAR_CHECK(static_cast<int>(b.size()) == n);
+  // Forward: z[k] (pivot-position space) via columns in order; x tracks
+  // the still-unpivoted part in original row space.
+  std::vector<double> x = b;
+  std::vector<int> prow(static_cast<std::size_t>(n));
+  for (int row = 0; row < n; ++row)
+    if (perm[row] >= 0) prow[perm[row]] = row;
+
+  std::vector<double> z(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const double zj = x[prow[j]];
+    z[j] = zj;
+    if (zj == 0.0) continue;
+    const auto& rows = l_rows[j];
+    const auto& vals = l_vals[j];
+    for (std::size_t e = 0; e < rows.size(); ++e) x[rows[e]] -= vals[e] * zj;
+  }
+
+  // Backward: U z = y with U stored column-wise in pivot positions.
+  for (int j = n - 1; j >= 0; --j) {
+    z[j] /= u_diag[j];
+    const double zj = z[j];
+    if (zj == 0.0) continue;
+    const auto& pos = u_pos[j];
+    const auto& vals = u_vals[j];
+    for (std::size_t e = 0; e < pos.size(); ++e) z[pos[e]] -= vals[e] * zj;
+  }
+  return z;
+}
+
+}  // namespace sstar::baseline

@@ -1,0 +1,55 @@
+// Left-looking sparse LU with partial pivoting (Gilbert–Peierls).
+//
+// This is the library's SuperLU-equivalent comparator (DESIGN.md
+// substitution #4): per column, a depth-first symbolic reach through the
+// partially-built L determines the column's pattern, a sparse triangular
+// solve computes it, and the pivot is chosen by magnitude — precisely
+// the algorithmic core of SuperLU minus supernode/panel blocking. Its
+// factor sizes and operation counts are the exact denominators used all
+// over the paper's tables ("factor entries S*/SuperLU", "ops A", and the
+// MFLOPS formula of §6).
+//
+// Pivoting is logical (perm_r), not physical; L keeps original row
+// indices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/sparse.hpp"
+
+namespace sstar::baseline {
+
+struct GpluResult {
+  int n = 0;
+  /// L columns: original row indices + values, unit diagonal implied
+  /// (the pivot row itself is not stored in L).
+  std::vector<std::vector<int>> l_rows;
+  std::vector<std::vector<double>> l_vals;
+  /// U columns: entries indexed by pivot POSITION k < j, plus the
+  /// diagonal value u_diag[j].
+  std::vector<std::vector<int>> u_pos;
+  std::vector<std::vector<double>> u_vals;
+  std::vector<double> u_diag;
+  /// perm[original row] = pivot position (the P of PA = LU).
+  std::vector<int> perm;
+
+  std::int64_t l_nnz = 0;  ///< strictly-below-diagonal entries
+  std::int64_t u_nnz = 0;  ///< on-and-above-diagonal entries
+  std::int64_t flops = 0;  ///< exact numerical-factorization flops
+  int off_diagonal_pivots = 0;
+
+  std::int64_t factor_entries() const { return l_nnz + u_nnz; }
+
+  /// Solve A x = b with the computed factors.
+  std::vector<double> solve(const std::vector<double>& b) const;
+};
+
+/// Factor A (square, numerically nonsingular). `pivot_threshold` in
+/// (0, 1]: 1.0 = classic partial pivoting; smaller values accept the
+/// diagonal when it is within the threshold of the column maximum
+/// (SuperLU's diagonal-preference option). Throws CheckError when a
+/// column has no usable pivot.
+GpluResult gplu_factor(const SparseMatrix& a, double pivot_threshold = 1.0);
+
+}  // namespace sstar::baseline

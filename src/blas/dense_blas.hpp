@@ -1,0 +1,71 @@
+// Dense BLAS-1/2/3 kernels used by the blocked sparse LU factorization.
+//
+// The paper's S* algorithm owes its performance to funnelling most of the
+// numerical work through DGEMM (BLAS-3) instead of DGEMV (BLAS-2); this
+// module provides those kernels from scratch (no vendor BLAS in this
+// environment — see DESIGN.md substitution #2) with exact flop accounting
+// feeding the Cray T3D/T3E machine model.
+//
+// Conventions: column-major storage with an explicit leading dimension,
+// like reference BLAS. All kernels are sequential; parallelism in this
+// project lives at the task level and is simulated.
+#pragma once
+
+#include <cstddef>
+
+namespace sstar::blas {
+
+/// Index of the element of x (stride incx, n elements) with the largest
+/// absolute value; first such index on ties. Returns 0 for n <= 0.
+int idamax(int n, const double* x, int incx = 1);
+
+/// x *= alpha.
+void dscal(int n, double alpha, double* x, int incx = 1);
+
+/// y += alpha * x.
+void daxpy(int n, double alpha, const double* x, double* y, int incx = 1,
+           int incy = 1);
+
+/// Dot product xᵀy.
+double ddot(int n, const double* x, const double* y, int incx = 1,
+            int incy = 1);
+
+/// Swap vectors x and y.
+void dswap(int n, double* x, double* y, int incx = 1, int incy = 1);
+
+/// y = alpha * A * x + beta * y for column-major A (m x n).
+void dgemv(int m, int n, double alpha, const double* a, int lda,
+           const double* x, double beta, double* y);
+
+/// Rank-1 update A += alpha * x * yᵀ, A is m x n column-major. x has
+/// stride incx, y stride incy (a row of a column-major matrix passes
+/// incy = its leading dimension).
+void dger(int m, int n, double alpha, const double* x, const double* y,
+          double* a, int lda, int incx = 1, int incy = 1);
+
+/// Solve L * x = b in place where L is n x n unit lower triangular
+/// (strict lower part of a, diagonal implied 1).
+void dtrsv_lower_unit(int n, const double* a, int lda, double* x);
+
+/// Solve U * x = b in place where U is n x n upper triangular including
+/// the diagonal of a.
+void dtrsv_upper(int n, const double* a, int lda, double* x);
+
+/// Solve L * X = B in place for an n x n unit lower triangular L and an
+/// n x m right-hand-side block B (column-major, ldb >= n). This is the
+/// DTRSM used to form U_kj = L_kk^{-1} U_kj in Update(k, j).
+void dtrsm_lower_unit(int n, int m, const double* a, int lda, double* b,
+                      int ldb);
+
+/// Solve U * X = B in place for an n x n upper triangular U (diagonal
+/// included) and an n x m block B. Used by the blocked multi-RHS solve.
+void dtrsm_upper(int n, int m, const double* a, int lda, double* b,
+                 int ldb);
+
+/// C = alpha * A * B + beta * C with A (m x k), B (k x n), C (m x n),
+/// all column-major. Register-blocked micro-kernel; counts 2*m*n*k
+/// BLAS-3 flops. This is the workhorse DGEMM of Update(k, j).
+void dgemm(int m, int n, int k, double alpha, const double* a, int lda,
+           const double* b, int ldb, double beta, double* c, int ldc);
+
+}  // namespace sstar::blas

@@ -1,0 +1,12 @@
+#include "blas/flops.hpp"
+
+namespace sstar::blas {
+
+FlopCount& flop_counter() {
+  static FlopCount counter;
+  return counter;
+}
+
+void reset_flop_counter() { flop_counter() = FlopCount{}; }
+
+}  // namespace sstar::blas

@@ -1,0 +1,52 @@
+// Global floating-point operation accounting.
+//
+// Every kernel in src/blas updates these counters. The machine model in
+// src/sim converts per-task flop deltas into virtual execution time using
+// the paper's measured BLAS-2/BLAS-3 rates (DGEMV vs DGEMM), so accurate
+// per-level accounting is load-bearing for the reproduction, not just
+// telemetry. The library is single-threaded (parallelism is simulated),
+// so plain counters suffice.
+#pragma once
+
+#include <cstdint>
+
+namespace sstar::blas {
+
+/// Flop counters split by BLAS level, matching the cost model of §6.1
+/// of the paper (w2 = BLAS-1/2 rate, w3 = BLAS-3 rate).
+struct FlopCount {
+  std::uint64_t blas1 = 0;  ///< vector ops: axpy, scal, dot, swaps
+  std::uint64_t blas2 = 0;  ///< matrix-vector: gemv, ger, trsv
+  std::uint64_t blas3 = 0;  ///< matrix-matrix: gemm, trsm
+
+  std::uint64_t total() const { return blas1 + blas2 + blas3; }
+
+  FlopCount operator-(const FlopCount& o) const {
+    return {blas1 - o.blas1, blas2 - o.blas2, blas3 - o.blas3};
+  }
+  FlopCount& operator+=(const FlopCount& o) {
+    blas1 += o.blas1;
+    blas2 += o.blas2;
+    blas3 += o.blas3;
+    return *this;
+  }
+};
+
+/// The process-wide counter. Read it to snapshot, subtract snapshots to
+/// get the cost of a region.
+FlopCount& flop_counter();
+
+/// Reset all counters to zero.
+void reset_flop_counter();
+
+/// RAII region measurement: delta() gives flops since construction.
+class FlopRegion {
+ public:
+  FlopRegion() : start_(flop_counter()) {}
+  FlopCount delta() const { return flop_counter() - start_; }
+
+ private:
+  FlopCount start_;
+};
+
+}  // namespace sstar::blas

@@ -1,0 +1,39 @@
+// 1D-data-mapping parallel sparse LU (§4.2, §5.1).
+//
+// Whole column blocks live on one processor (owner-computes); the only
+// communication is the Factor(k) broadcast of the pivot sequence plus
+// column block k. Two schedules: block-cyclic compute-ahead (Fig. 10)
+// and graph scheduling (the RAPID substitute of sched/list_schedule).
+//
+// When a SStarNumeric is supplied, the virtual processors execute the
+// real kernels in simulated order, so the run both produces the paper's
+// parallel-time metrics and a verifiable factorization.
+#pragma once
+
+#include "core/numeric.hpp"
+#include "core/parallel_run.hpp"
+#include "sched/list_schedule.hpp"
+#include "sim/event_sim.hpp"
+
+namespace sstar {
+
+enum class Schedule1DKind {
+  kComputeAhead,  ///< Fig. 10
+  kGraph,         ///< RAPID-style graph scheduling
+};
+
+/// Build the 1D parallel program for the given schedule (exposed for
+/// tests and the paper-walkthrough example).
+sim::ParallelProgram build_1d_program(const LuTaskGraph& graph,
+                                      const sched::Schedule1D& schedule,
+                                      const sim::MachineModel& machine,
+                                      SStarNumeric* numeric);
+
+/// Schedule, simulate, and summarize. `numeric` may be null (timing
+/// only) or an assembled SStarNumeric (kernels execute for real).
+ParallelRunResult run_1d(const BlockLayout& layout,
+                         const sim::MachineModel& machine,
+                         Schedule1DKind kind, SStarNumeric* numeric = nullptr,
+                         bool capture_gantt = false);
+
+}  // namespace sstar

@@ -1,0 +1,44 @@
+// 2D block-cyclic parallel sparse LU (§4.3, §5.2, Figs. 12-15).
+//
+// Processors form a p_r x p_c grid (proc id = r * p_c + c); block (i, j)
+// lives on processor (i mod p_r, j mod p_c). Per elimination step k the
+// SPMD program of Fig. 12 expands into per-processor tasks:
+//
+//   F1(k, r)  — local pivot contributions of processor row r in the
+//               owning column (half the Factor work share);
+//   FP(k)     — pivot coordination on the owner of L_kk (collects local
+//               maxima, serialized pivot rounds charged w*2 latencies);
+//   F2(k, r)  — remaining Factor work after the pivot decisions, then
+//               the L/pivot multicast along processor row r;
+//   SW(k,r,c) — ScaleSwap: delayed row interchange (+ the DTRSM slice on
+//               the diagonal processor row, which then multicasts the
+//               scaled U panel down its processor column);
+//   UF(k,p)   — Update_2D(k, k+1): the compute-ahead update, ordered
+//               immediately before the step-(k+1) Factor tasks;
+//   UR(k,p)   — Update_2D(k, j) for all remaining j owned by p's column.
+//
+// The asynchronous variant is exactly this program; the synchronous
+// variant adds a barrier between elimination steps (§6.3.1's
+// comparison). Real kernels ride on FP (Factor) and on the block-owner
+// processor's UF/UR tasks (ScaleSwap+Update), so a simulated run
+// produces a verifiable factorization.
+#pragma once
+
+#include "core/numeric.hpp"
+#include "core/parallel_run.hpp"
+#include "sim/event_sim.hpp"
+
+namespace sstar {
+
+/// Build the 2D SPMD program (exposed for tests).
+sim::ParallelProgram build_2d_program(const BlockLayout& layout,
+                                      const sim::MachineModel& machine,
+                                      bool async, SStarNumeric* numeric);
+
+/// Simulate the 2D code and summarize.
+ParallelRunResult run_2d(const BlockLayout& layout,
+                         const sim::MachineModel& machine, bool async = true,
+                         SStarNumeric* numeric = nullptr,
+                         bool capture_gantt = false);
+
+}  // namespace sstar

@@ -1,0 +1,517 @@
+#include "core/numeric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/dense_blas.hpp"
+#include "util/check.hpp"
+
+namespace sstar {
+
+SStarNumeric::SStarNumeric(const BlockLayout& layout)
+    : layout_(&layout), data_(layout) {
+  pivot_of_col_.assign(static_cast<std::size_t>(layout.n()), -1);
+  factored_.assign(static_cast<std::size_t>(layout.num_blocks()), 0);
+}
+
+void SStarNumeric::assemble(const SparseMatrix& a) {
+  data_.assemble(a);
+  std::fill(pivot_of_col_.begin(), pivot_of_col_.end(), -1);
+  std::fill(factored_.begin(), factored_.end(), 0);
+  stats_ = FactorStats{};
+  stats_.input_max_abs = a.max_abs();
+}
+
+double SStarNumeric::growth_factor() const {
+  const BlockLayout& lay = *layout_;
+  double umax = 0.0;
+  for (int k = 0; k < lay.num_blocks(); ++k) {
+    const int w = lay.width(k);
+    const double* d = data_.diag(k);
+    for (int c = 0; c < w; ++c)
+      for (int r = 0; r <= c; ++r)
+        umax = std::max(umax, std::fabs(d[static_cast<std::ptrdiff_t>(c) * w + r]));
+    const double* u = data_.u_panel(k);
+    const std::int64_t ucount =
+        static_cast<std::int64_t>(lay.panel_cols(k).size()) * w;
+    for (std::int64_t i = 0; i < ucount; ++i)
+      umax = std::max(umax, std::fabs(u[i]));
+  }
+  return stats_.input_max_abs > 0.0 ? umax / stats_.input_max_abs : 0.0;
+}
+
+void SStarNumeric::factor_block(int k) {
+  const BlockLayout& lay = *layout_;
+  const int w = lay.width(k);
+  const int base = lay.start(k);
+  const int nr = data_.l_ld(k);
+  double* d = data_.diag(k);
+  double* p = data_.l_panel(k);
+  const auto& prows = lay.panel_rows(k);
+  blas::FlopRegion region;
+
+  for (int ml = 0; ml < w; ++ml) {
+    double* cd = d + static_cast<std::ptrdiff_t>(ml) * w;
+    double* cp = p + static_cast<std::ptrdiff_t>(ml) * nr;
+
+    // Pivot search over the diagonal block (rows ml..w-1) and the whole
+    // L panel column — exactly the candidate set the static structure
+    // guarantees.
+    int best_diag = ml + blas::idamax(w - ml, cd + ml);
+    double best = std::fabs(cd[best_diag]);
+    int best_panel = -1;
+    if (nr > 0) {
+      const int bp = blas::idamax(nr, cp);
+      if (std::fabs(cp[bp]) > best) {
+        best = std::fabs(cp[bp]);
+        best_panel = bp;
+      }
+    }
+    SSTAR_CHECK_MSG(best > 0.0, "matrix is numerically singular at column "
+                                    << base + ml);
+
+    const int m = base + ml;
+    const int t = best_panel >= 0 ? prows[best_panel]
+                                  : base + best_diag;
+    pivot_of_col_[m] = t;
+    if (t != m) {
+      ++stats_.off_diagonal_pivots;
+      // Swap the FULL rows m and t inside column block k (LAPACK dgetf2
+      // convention: already-computed multiplier columns move too, so the
+      // block's L is in position space and the later DTRSM/DGEMM algebra
+      // is exact). The rest of the matrix is deferred to ScaleSwap.
+      double* rm = d + ml;                      // row ml of diag, stride w
+      double* rt = best_panel >= 0
+                       ? p + best_panel         // panel row, stride nr
+                       : d + best_diag;         // diag row, stride w
+      blas::dswap(w, rm, rt, w, best_panel >= 0 ? nr : w);
+    }
+
+    const double inv = 1.0 / cd[ml];
+    blas::dscal(w - ml - 1, inv, cd + ml + 1);
+    blas::dscal(nr, inv, cp);
+
+    // Rank-1 update of the remaining columns of the diagonal block and
+    // the panel: A -= l * u_row.
+    const int rest = w - ml - 1;
+    if (rest > 0) {
+      blas::dger(rest, rest, -1.0, cd + ml + 1,
+                 d + static_cast<std::ptrdiff_t>(ml + 1) * w + ml,
+                 d + static_cast<std::ptrdiff_t>(ml + 1) * w + ml + 1, w,
+                 /*incx=*/1, /*incy=*/w);
+      if (nr > 0)
+        blas::dger(nr, rest, -1.0, cp,
+                   d + static_cast<std::ptrdiff_t>(ml + 1) * w + ml,
+                   p + static_cast<std::ptrdiff_t>(ml + 1) * nr, nr,
+                   /*incx=*/1, /*incy=*/w);
+    }
+  }
+  factored_[k] = 1;
+  stats_.flops += region.delta();
+}
+
+// A row's stored cells within one column block: cells[i] sits at
+// ptr[i * stride] and holds global column cols[i] (cols is sorted).
+struct SStarNumeric::RowSlice {
+  double* ptr = nullptr;
+  int stride = 0;
+  const int* cols = nullptr;  // nullptr => contiguous range col0..col0+n-1
+  int col0 = 0;
+  int n = 0;
+
+  int col(int i) const { return cols ? cols[i] : col0 + i; }
+};
+
+SStarNumeric::RowSlice SStarNumeric::row_slice(int row, int j) {
+  const BlockLayout& lay = *layout_;
+  const int rb = lay.block_of_column(row);
+  RowSlice s;
+  if (rb == j) {
+    s.ptr = data_.diag(j) + (row - lay.start(j));
+    s.stride = data_.diag_ld(j);
+    s.col0 = lay.start(j);
+    s.n = lay.width(j);
+  } else if (rb < j) {
+    const BlockRef* ref = lay.find_u_block(rb, j);
+    if (ref == nullptr) return s;  // empty
+    s.ptr = data_.u_panel(rb) +
+            static_cast<std::ptrdiff_t>(ref->offset) * data_.u_ld(rb) +
+            (row - lay.start(rb));
+    s.stride = data_.u_ld(rb);
+    s.cols = lay.panel_cols(rb).data() + ref->offset;
+    s.n = ref->count;
+  } else {
+    const int r = lay.panel_row_index(j, row);
+    if (r < 0) return s;  // row not present in this panel
+    s.ptr = data_.l_panel(j) + r;
+    s.stride = data_.l_ld(j);
+    s.col0 = lay.start(j);
+    s.n = lay.width(j);
+  }
+  return s;
+}
+
+void SStarNumeric::swap_rows_in_block(int m, int t, int j) {
+  RowSlice a = row_slice(m, j);
+  RowSlice b = row_slice(t, j);
+  // Walk the two sorted column lists; swap where both rows have storage.
+  // Where only one side has storage the other side's content is
+  // structurally zero (see Update scatter invariants), so the stored
+  // value must itself be zero and nothing needs to move.
+  int ia = 0, ib = 0;
+  while (ia < a.n && ib < b.n) {
+    const int ca = a.col(ia);
+    const int cb = b.col(ib);
+    if (ca == cb) {
+      std::swap(a.ptr[static_cast<std::ptrdiff_t>(ia) * a.stride],
+                b.ptr[static_cast<std::ptrdiff_t>(ib) * b.stride]);
+      ++ia;
+      ++ib;
+    } else if (ca < cb) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+}
+
+void SStarNumeric::scale_swap(int k, int j) {
+  const BlockLayout& lay = *layout_;
+  SSTAR_CHECK_MSG(factored_[k], "ScaleSwap(" << k << "," << j
+                                             << ") before Factor(" << k
+                                             << ")");
+  for (int m = lay.start(k); m < lay.start(k + 1); ++m) {
+    const int t = pivot_of_col_[m];
+    if (t != m) swap_rows_in_block(m, t, j);
+  }
+}
+
+void SStarNumeric::update_block(int k, int j) {
+  const BlockLayout& lay = *layout_;
+  SSTAR_CHECK(factored_[k]);
+  const BlockRef* uref = lay.find_u_block(k, j);
+  SSTAR_CHECK_MSG(uref != nullptr, "Update(" << k << "," << j
+                                             << ") on a zero U block");
+  const int wk = lay.width(k);
+  const int ncols = uref->count;
+  const int uld = data_.u_ld(k);
+  double* ukj = data_.u_panel(k) +
+                static_cast<std::ptrdiff_t>(uref->offset) * uld;
+  const int* ucols = lay.panel_cols(k).data() + uref->offset;
+  blas::FlopRegion region;
+
+  // U_kj = L_kk^{-1} U_kj.
+  blas::dtrsm_lower_unit(wk, ncols, data_.diag(k), wk, ukj, uld);
+
+  // A_ij -= L_ik * U_kj for every nonzero L block below the diagonal.
+  const int jstart = lay.start(j);
+  for (const BlockRef& lref : lay.l_blocks(k)) {
+    const int i = lref.block;
+    const int mrows = lref.count;
+    const double* lik = data_.l_panel(k) + lref.offset;
+    const int lld = data_.l_ld(k);
+
+    work_.resize(static_cast<std::size_t>(mrows) *
+                 static_cast<std::size_t>(ncols));
+    blas::dgemm(mrows, ncols, wk, 1.0, lik, lld, ukj, uld, 0.0, work_.data(),
+                mrows);
+
+    const int* grows = lay.panel_rows(k).data() + lref.offset;
+    if (i == j) {
+      // Target: dense diagonal block of j.
+      double* dj = data_.diag(j);
+      const int dld = data_.diag_ld(j);
+      for (int c = 0; c < ncols; ++c) {
+        const int tc = ucols[c] - jstart;
+        double* dst = dj + static_cast<std::ptrdiff_t>(tc) * dld;
+        const double* src = work_.data() + static_cast<std::ptrdiff_t>(c) *
+                                               mrows;
+        for (int r = 0; r < mrows; ++r) dst[grows[r] - jstart] -= src[r];
+      }
+    } else if (i < j) {
+      // Target: U panel of block i. Map columns once; rows are direct.
+      row_map_.resize(static_cast<std::size_t>(ncols));
+      for (int c = 0; c < ncols; ++c)
+        row_map_[c] = lay.panel_col_index(i, ucols[c]);
+      double* up = data_.u_panel(i);
+      const int upld = data_.u_ld(i);
+      const int istart = lay.start(i);
+      for (int c = 0; c < ncols; ++c) {
+        const int tc = row_map_[c];
+        const double* src = work_.data() + static_cast<std::ptrdiff_t>(c) *
+                                               mrows;
+        if (tc < 0) {
+          // Structurally zero column: all contributions must be zero
+          // (padded-row x padded-col products only).
+          for (int r = 0; r < mrows; ++r) SSTAR_DCHECK(src[r] == 0.0);
+          continue;
+        }
+        double* dst = up + static_cast<std::ptrdiff_t>(tc) * upld;
+        for (int r = 0; r < mrows; ++r) dst[grows[r] - istart] -= src[r];
+      }
+    } else {
+      // Target: L panel of block j. Map rows once; columns are direct.
+      row_map_.resize(static_cast<std::size_t>(mrows));
+      for (int r = 0; r < mrows; ++r)
+        row_map_[r] = lay.panel_row_index(j, grows[r]);
+      double* lp = data_.l_panel(j);
+      const int lpld = data_.l_ld(j);
+      for (int c = 0; c < ncols; ++c) {
+        const int tc = ucols[c] - jstart;
+        double* dst = lp + static_cast<std::ptrdiff_t>(tc) * lpld;
+        const double* src = work_.data() + static_cast<std::ptrdiff_t>(c) *
+                                               mrows;
+        for (int r = 0; r < mrows; ++r) {
+          if (row_map_[r] < 0) {
+            SSTAR_DCHECK(src[r] == 0.0);
+            continue;
+          }
+          dst[row_map_[r]] -= src[r];
+        }
+      }
+    }
+    // Scatter subtraction cost (one flop per updated cell).
+    blas::flop_counter().blas1 += static_cast<std::uint64_t>(mrows) *
+                                  static_cast<std::uint64_t>(ncols);
+  }
+  stats_.flops += region.delta();
+}
+
+void SStarNumeric::factorize() {
+  const int nb = layout_->num_blocks();
+  for (int k = 0; k < nb; ++k) {
+    factor_block(k);
+    for (const BlockRef& uref : layout_->u_blocks(k)) {
+      scale_swap(k, uref.block);
+      update_block(k, uref.block);
+    }
+  }
+}
+
+void SStarNumeric::forward_block(int k, std::vector<double>& b) const {
+  const BlockLayout& lay = *layout_;
+  const int w = lay.width(k);
+  const int base = lay.start(k);
+  const double* d = data_.diag(k);
+  const double* p = data_.l_panel(k);
+  const auto& prows = lay.panel_rows(k);
+  const int nr = static_cast<int>(prows.size());
+  // Apply the block's row interchanges first (the stored block L is in
+  // end-of-block position space — see factor_block), then eliminate.
+  for (int ml = 0; ml < w; ++ml) {
+    const int m = base + ml;
+    const int t = pivot_of_col_[m];
+    SSTAR_CHECK_MSG(t >= 0, "solve before factorize");
+    if (t != m) std::swap(b[m], b[t]);
+  }
+  for (int ml = 0; ml < w; ++ml) {
+    const int m = base + ml;
+    const double bm = b[m];
+    if (bm == 0.0) continue;
+    const double* cd = d + static_cast<std::ptrdiff_t>(ml) * w;
+    for (int i = ml + 1; i < w; ++i) b[base + i] -= cd[i] * bm;
+    const double* cp = p + static_cast<std::ptrdiff_t>(ml) * nr;
+    for (int i = 0; i < nr; ++i) b[prows[i]] -= cp[i] * bm;
+  }
+}
+
+void SStarNumeric::backward_block(int k, std::vector<double>& b) const {
+  const BlockLayout& lay = *layout_;
+  const int w = lay.width(k);
+  const int base = lay.start(k);
+  const double* d = data_.diag(k);
+  const double* u = data_.u_panel(k);
+  const auto& pcols = lay.panel_cols(k);
+  const int nc = static_cast<int>(pcols.size());
+  for (int ml = w - 1; ml >= 0; --ml) {
+    const int m = base + ml;
+    double acc = b[m];
+    for (int c = 0; c < nc; ++c)
+      acc -= u[static_cast<std::ptrdiff_t>(c) * w + ml] * b[pcols[c]];
+    for (int cl = ml + 1; cl < w; ++cl)
+      acc -= d[static_cast<std::ptrdiff_t>(cl) * w + ml] * b[base + cl];
+    b[m] = acc / d[static_cast<std::ptrdiff_t>(ml) * w + ml];
+  }
+}
+
+std::vector<double> SStarNumeric::solve(std::vector<double> b) const {
+  const BlockLayout& lay = *layout_;
+  SSTAR_CHECK(static_cast<int>(b.size()) == lay.n());
+  for (int k = 0; k < lay.num_blocks(); ++k) forward_block(k, b);
+  for (int k = lay.num_blocks() - 1; k >= 0; --k) backward_block(k, b);
+  return b;
+}
+
+void SStarNumeric::solve_multi(double* b, int nrhs) const {
+  const BlockLayout& lay = *layout_;
+  const int n = lay.n();
+  SSTAR_CHECK(nrhs >= 0);
+  if (nrhs == 0) return;  // an empty block may come with a null pointer
+  SSTAR_CHECK(b != nullptr);
+  std::vector<double> work;
+
+  // Forward: per block, apply interchanges to every column of B, then
+  // B_k = L_kk^{-1} B_k (DTRSM) and B_panel -= L_panel * B_k (DGEMM).
+  for (int k = 0; k < lay.num_blocks(); ++k) {
+    const int w = lay.width(k);
+    const int base = lay.start(k);
+    const auto& prows = lay.panel_rows(k);
+    const int nr = static_cast<int>(prows.size());
+    for (int ml = 0; ml < w; ++ml) {
+      const int m = base + ml;
+      const int t = pivot_of_col_[m];
+      SSTAR_CHECK_MSG(t >= 0, "solve_multi before factorize");
+      if (t != m)
+        blas::dswap(nrhs, b + m, b + t, n, n);
+    }
+    blas::dtrsm_lower_unit(w, nrhs, data_.diag(k), w, b + base, n);
+    if (nr > 0) {
+      work.resize(static_cast<std::size_t>(nr) *
+                  static_cast<std::size_t>(nrhs));
+      blas::dgemm(nr, nrhs, w, 1.0, data_.l_panel(k), nr, b + base, n, 0.0,
+                  work.data(), nr);
+      for (int c = 0; c < nrhs; ++c) {
+        double* bc = b + static_cast<std::ptrdiff_t>(c) * n;
+        const double* wc = work.data() + static_cast<std::ptrdiff_t>(c) * nr;
+        for (int i = 0; i < nr; ++i) bc[prows[i]] -= wc[i];
+      }
+    }
+  }
+
+  // Backward: per block from the last, gather the already-solved panel
+  // columns, B_k -= U_panel * B_pcols (DGEMM), then B_k = U_kk^{-1} B_k.
+  for (int k = lay.num_blocks() - 1; k >= 0; --k) {
+    const int w = lay.width(k);
+    const int base = lay.start(k);
+    const auto& pcols = lay.panel_cols(k);
+    const int nc = static_cast<int>(pcols.size());
+    if (nc > 0) {
+      work.resize(static_cast<std::size_t>(nc) *
+                  static_cast<std::size_t>(nrhs));
+      for (int c = 0; c < nrhs; ++c) {
+        const double* bc = b + static_cast<std::ptrdiff_t>(c) * n;
+        double* wc = work.data() + static_cast<std::ptrdiff_t>(c) * nc;
+        for (int i = 0; i < nc; ++i) wc[i] = bc[pcols[i]];
+      }
+      blas::dgemm(w, nrhs, nc, -1.0, data_.u_panel(k), w, work.data(), nc,
+                  1.0, b + base, n);
+    }
+    blas::dtrsm_upper(w, nrhs, data_.diag(k), w, b + base, n);
+  }
+}
+
+std::vector<double> SStarNumeric::solve_transpose(
+    std::vector<double> b) const {
+  const BlockLayout& lay = *layout_;
+  const int n = lay.n();
+  SSTAR_CHECK(static_cast<int>(b.size()) == n);
+
+  // The forward factor application is b -> U^{-1} (E_N ... E_1 b) with
+  // E_k = M_k P_k (block swaps, then block eliminations). Hence
+  // A^{-T} b = E_1ᵀ ... E_Nᵀ U^{-T} b.
+
+  // Step 1: y = U^{-T} b, a forward substitution over U rows-as-columns.
+  for (int k = 0; k < lay.num_blocks(); ++k) {
+    const int w = lay.width(k);
+    const int base = lay.start(k);
+    const double* d = data_.diag(k);
+    const double* u = data_.u_panel(k);
+    const auto& pcols = lay.panel_cols(k);
+    const int nc = static_cast<int>(pcols.size());
+    for (int ml = 0; ml < w; ++ml) {
+      const int m = base + ml;
+      SSTAR_CHECK_MSG(pivot_of_col_[m] >= 0, "solve before factorize");
+      b[m] /= d[static_cast<std::ptrdiff_t>(ml) * w + ml];
+      const double ym = b[m];
+      if (ym == 0.0) continue;
+      for (int cl = ml + 1; cl < w; ++cl)
+        b[base + cl] -= d[static_cast<std::ptrdiff_t>(cl) * w + ml] * ym;
+      for (int c = 0; c < nc; ++c)
+        b[pcols[c]] -= u[static_cast<std::ptrdiff_t>(c) * w + ml] * ym;
+    }
+  }
+
+  // Step 2: apply E_kᵀ = P_kᵀ M_kᵀ for k = N-1 .. 0. M_kᵀ subtracts,
+  // into each pivot position, the dot product of its L column with the
+  // current vector (columns in descending order); P_kᵀ replays the
+  // block's transpositions in reverse.
+  for (int k = lay.num_blocks() - 1; k >= 0; --k) {
+    const int w = lay.width(k);
+    const int base = lay.start(k);
+    const double* d = data_.diag(k);
+    const double* p = data_.l_panel(k);
+    const auto& prows = lay.panel_rows(k);
+    const int nr = static_cast<int>(prows.size());
+    for (int ml = w - 1; ml >= 0; --ml) {
+      const int m = base + ml;
+      double acc = 0.0;
+      const double* cd = d + static_cast<std::ptrdiff_t>(ml) * w;
+      for (int i = ml + 1; i < w; ++i) acc += cd[i] * b[base + i];
+      const double* cp = p + static_cast<std::ptrdiff_t>(ml) * nr;
+      for (int i = 0; i < nr; ++i) acc += cp[i] * b[prows[i]];
+      b[m] -= acc;
+    }
+    for (int ml = w - 1; ml >= 0; --ml) {
+      const int m = base + ml;
+      const int t = pivot_of_col_[m];
+      if (t != m) std::swap(b[m], b[t]);
+    }
+  }
+  return b;
+}
+
+void SStarNumeric::reconstruct_pa_lu(std::vector<int>* perm, DenseMatrix* l,
+                                     DenseMatrix* u) const {
+  const BlockLayout& lay = *layout_;
+  const int n = lay.n();
+  DenseMatrix lf(n, n);
+  DenseMatrix uf(n, n);
+  std::vector<int> row_at(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) row_at[i] = i;
+
+  for (int k = 0; k < lay.num_blocks(); ++k) {
+    const int w = lay.width(k);
+    const int base = lay.start(k);
+    const double* d = data_.diag(k);
+    const double* p = data_.l_panel(k);
+    const double* uu = data_.u_panel(k);
+    const auto& prows = lay.panel_rows(k);
+    const auto& pcols = lay.panel_cols(k);
+    const int nr = static_cast<int>(prows.size());
+    // Apply the block's interchanges to the accumulated L rows first:
+    // the stored block L is already in end-of-block position space.
+    for (int ml = 0; ml < w; ++ml) {
+      const int m = base + ml;
+      const int t = pivot_of_col_[m];
+      if (t != m) {
+        for (int c = 0; c < base; ++c) std::swap(lf(m, c), lf(t, c));
+        std::swap(row_at[m], row_at[t]);
+      }
+    }
+    for (int ml = 0; ml < w; ++ml) {
+      const int m = base + ml;
+      lf(m, m) = 1.0;
+      // L column m: diagonal block rows below ml + panel rows (these are
+      // the positions where the multipliers sit right now, matching the
+      // full-swap formulation at step m).
+      const double* cd = d + static_cast<std::ptrdiff_t>(ml) * w;
+      for (int i = ml + 1; i < w; ++i) lf(base + i, m) = cd[i];
+      const double* cp = p + static_cast<std::ptrdiff_t>(ml) * nr;
+      for (int i = 0; i < nr; ++i) lf(prows[i], m) = cp[i];
+      // U row m.
+      for (int cl = ml; cl < w; ++cl)
+        uf(m, base + cl) = d[static_cast<std::ptrdiff_t>(cl) * w + ml];
+      for (int c = 0; c < static_cast<int>(pcols.size()); ++c)
+        uf(m, pcols[c]) = uu[static_cast<std::ptrdiff_t>(c) * w + ml];
+    }
+  }
+
+  if (perm) {
+    perm->assign(static_cast<std::size_t>(n), -1);
+    for (int i = 0; i < n; ++i) (*perm)[row_at[i]] = i;
+  }
+  if (l) *l = std::move(lf);
+  if (u) *u = std::move(uf);
+}
+
+}  // namespace sstar

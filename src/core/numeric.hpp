@@ -1,0 +1,110 @@
+// The S* numeric factorization kernels (§4.1, Figs. 6-8 of the paper).
+//
+// Work is organized in the paper's task granularity so parallel drivers
+// can invoke kernels in any dependency-respecting order:
+//   Factor(k)      — factor diagonal block + L panel of supernode k with
+//                    partial pivoting confined to the panel (the static
+//                    structure guarantees all candidate rows live there);
+//   ScaleSwap(k,j) — delayed pivoting: apply block k's pivot sequence to
+//                    column block j;
+//   Update(k,j)    — U_kj = L_kk^{-1} U_kj (DTRSM), then
+//                    A_ij -= L_ik * U_kj for all i (DGEMM + scatter).
+//
+// Pivoting is physical in the active region only: computed L multipliers
+// stay with their storage row (the sparse-LU convention; SuperLU does the
+// same logically). The resulting factors are applied to right-hand sides
+// by replaying the swap/eliminate sequence, and reconstruct_pa_lu() can
+// rebuild the conventional PA = LU triple for verification.
+#pragma once
+
+#include <vector>
+
+#include "blas/flops.hpp"
+#include "core/block_matrix.hpp"
+
+namespace sstar {
+
+/// Statistics of one numeric factorization run.
+struct FactorStats {
+  blas::FlopCount flops;       ///< exact flops by BLAS level
+  int off_diagonal_pivots = 0; ///< pivot row != current row count
+  double input_max_abs = 0.0;  ///< max |a_ij| of the assembled matrix
+  double blas3_fraction() const {
+    const auto t = flops.total();
+    return t == 0 ? 0.0 : static_cast<double>(flops.blas3) / t;
+  }
+};
+
+class SStarNumeric {
+ public:
+  explicit SStarNumeric(const BlockLayout& layout);
+
+  /// Load A's values (A must match the layout's static structure).
+  void assemble(const SparseMatrix& a);
+
+  // --- task kernels ------------------------------------------------------
+  void factor_block(int k);
+  void scale_swap(int k, int j);
+  void update_block(int k, int j);
+
+  /// Sequential right-looking driver: Fig. 6's loop nest.
+  void factorize();
+
+  /// Solve A x = b with the computed factors.
+  std::vector<double> solve(std::vector<double> b) const;
+
+  /// Per-supernode stages of the solve, exposed so the parallel solve
+  /// driver (core/solve_1d) can execute them task by task:
+  /// forward_block applies block k's row interchanges and eliminates
+  /// with its L columns; backward_block back-substitutes block k's U
+  /// rows. solve() is exactly forward 0..N-1 then backward N-1..0.
+  void forward_block(int k, std::vector<double>& b) const;
+  void backward_block(int k, std::vector<double>& b) const;
+
+  /// Solve Aᵀ x = b with the computed factors (the transposed
+  /// elimination sequence: Uᵀ forward solve, then the adjoint of each
+  /// block's eliminate-and-swap stage in reverse). Needed by the 1-norm
+  /// condition estimator and for adjoint/least-squares workflows.
+  std::vector<double> solve_transpose(std::vector<double> b) const;
+
+  /// Solve A X = B for `nrhs` right-hand sides stored column-major in
+  /// one n x nrhs array. Runs the block forward/backward substitution
+  /// with DTRSM/DGEMM so the per-column cost amortizes (BLAS-3, unlike
+  /// repeated solve() calls).
+  void solve_multi(double* b, int nrhs) const;
+
+  /// pivot_of_col()[m] = storage row swapped into step m (== m when the
+  /// diagonal won the pivot search).
+  const std::vector<int>& pivot_of_col() const { return pivot_of_col_; }
+
+  const FactorStats& stats() const { return stats_; }
+
+  /// Element-growth factor max_ij |u_ij| / max_ij |a_ij| after
+  /// factorization — the classic GEPP stability diagnostic (bounded by
+  /// 2^(n-1), tiny in practice).
+  double growth_factor() const;
+  const BlockLayout& layout() const { return *layout_; }
+  BlockMatrix& data() { return data_; }
+  const BlockMatrix& data() const { return data_; }
+
+  /// Rebuild the conventional PA = LU triple (dense; test sizes only):
+  /// perm maps original storage row -> pivoted position, l is unit lower
+  /// with rows in position space, u is upper.
+  void reconstruct_pa_lu(std::vector<int>* perm, DenseMatrix* l,
+                         DenseMatrix* u) const;
+
+ private:
+  struct RowSlice;  // a row's stored cells within one column block
+  RowSlice row_slice(int row, int j);
+  void swap_rows_in_block(int m, int t, int j);
+
+  const BlockLayout* layout_;
+  BlockMatrix data_;
+  std::vector<int> pivot_of_col_;
+  FactorStats stats_;
+  std::vector<double> work_;        // GEMM result buffer
+  std::vector<int> row_map_;        // scatter row indices buffer
+  std::vector<int> factored_;       // per-block: factor_block done (checks)
+};
+
+}  // namespace sstar

@@ -1,0 +1,123 @@
+#include "core/solve_1d.hpp"
+
+#include "util/check.hpp"
+
+namespace sstar {
+
+ParallelRunResult run_solve_1d(const SStarNumeric& numeric,
+                               const sim::MachineModel& machine,
+                               std::vector<double>* b) {
+  const BlockLayout& lay = numeric.layout();
+  const int nb = lay.num_blocks();
+  const int p = machine.processors;
+  sim::ParallelProgram prog(p);
+
+  // Forward tasks in block order, backward tasks in reverse, all cyclic.
+  std::vector<sim::TaskId> fs(nb), bs(nb);
+  for (int k = 0; k < nb; ++k) {
+    const double w = lay.width(k);
+    const double nr = static_cast<double>(lay.panel_rows(k).size());
+    sim::TaskDef def;
+    def.proc = k % p;
+    // Diagonal solve w^2 + panel eliminations 2*w*nr, BLAS-2 class.
+    def.seconds = machine.compute_seconds(0.0, w * w + 2.0 * w * nr, 0.0);
+    def.label = "FS(" + std::to_string(k) + ")";
+    def.stage = k;
+    def.kind = kKindUpdate;
+    if (b) {
+      const SStarNumeric* num = &numeric;
+      std::vector<double>* vec = b;
+      def.run = [num, vec, k] { num->forward_block(k, *vec); };
+    }
+    fs[k] = prog.add_task(std::move(def));
+  }
+  for (int k = nb - 1; k >= 0; --k) {
+    const double w = lay.width(k);
+    const double nc = static_cast<double>(lay.panel_cols(k).size());
+    sim::TaskDef def;
+    def.proc = k % p;
+    def.seconds = machine.compute_seconds(0.0, w * w + 2.0 * w * nc, 0.0);
+    def.label = "BS(" + std::to_string(k) + ")";
+    def.stage = nb - 1 - k;
+    def.kind = kKindUpdate;
+    if (b) {
+      const SStarNumeric* num = &numeric;
+      std::vector<double>* vec = b;
+      def.run = [num, vec, k] { num->backward_block(k, *vec); };
+    }
+    bs[k] = prog.add_task(std::move(def));
+  }
+
+  // Forward dependences: block j's elimination writes into the rows of
+  // every block its L panel touches.
+  for (int j = 0; j < nb; ++j) {
+    for (const BlockRef& lref : lay.l_blocks(j)) {
+      const double bytes = 8.0 * lay.width(lref.block);
+      if ((j % p) == (lref.block % p))
+        prog.add_dependency(fs[j], fs[lref.block]);
+      else
+        prog.add_message(fs[j], fs[lref.block], bytes);
+    }
+  }
+  // Pivot edges: FS(k) swaps b[m] with b[t]; every earlier block whose
+  // panel contains row t contributes to b[t] first. Build a row ->
+  // panel-blocks index once.
+  {
+    std::vector<std::vector<int>> blocks_of_row(
+        static_cast<std::size_t>(lay.n()));
+    for (int j = 0; j < nb; ++j)
+      for (const int r : lay.panel_rows(j)) blocks_of_row[r].push_back(j);
+    const auto& piv = numeric.pivot_of_col();
+    for (int k = 0; k < nb; ++k) {
+      for (int m = lay.start(k); m < lay.start(k) + lay.width(k); ++m) {
+        const int t = piv[m];
+        SSTAR_CHECK_MSG(t >= 0, "run_solve_1d before factorize");
+        if (t < lay.start(k + 1)) continue;  // within-block swap
+        for (const int j : blocks_of_row[t]) {
+          // Earlier contributors to b[t] must land before the swap;
+          // later contributors target the swapped-in value, so they wait
+          // for it. (j == k needs no edge: the swap is FS(k) itself.)
+          if (j < k) {
+            if ((j % p) == (k % p))
+              prog.add_dependency(fs[j], fs[k]);
+            else
+              prog.add_message(fs[j], fs[k], 8.0);
+          } else if (j > k) {
+            if ((j % p) == (k % p))
+              prog.add_dependency(fs[k], fs[j]);
+            else
+              prog.add_message(fs[k], fs[j], 8.0);
+          }
+        }
+      }
+    }
+  }
+  // The backward sweep starts once the forward sweep produced y: the
+  // last block's FS gates its BS (same processor, program order covers
+  // the rest transitively through the dependences below).
+  for (int k = 0; k < nb; ++k) prog.add_dependency(fs[k], bs[k]);
+  // Backward dependences: BS(k) consumes x values of blocks j > k with
+  // a nonzero U block (k, j).
+  for (int k = 0; k < nb; ++k) {
+    for (const BlockRef& uref : lay.u_blocks(k)) {
+      const double bytes = 8.0 * lay.width(k);
+      if ((k % p) == (uref.block % p))
+        prog.add_dependency(bs[uref.block], bs[k]);
+      else
+        prog.add_message(bs[uref.block], bs[k], bytes);
+    }
+  }
+
+  const sim::SimulationResult res = simulate(prog, machine);
+  ParallelRunResult out;
+  out.seconds = res.makespan;
+  out.load_balance = res.load_balance();
+  out.comm_bytes = res.comm_volume_bytes;
+  out.messages = res.message_count;
+  out.total_task_seconds = res.total_work;
+  out.overlap_all = res.stage_overlap(prog, kKindUpdate);
+  out.buffer_high_water = res.buffer_high_water(prog);
+  return out;
+}
+
+}  // namespace sstar

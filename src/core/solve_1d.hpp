@@ -1,0 +1,31 @@
+// Distributed triangular solves on the simulated machine.
+//
+// The paper factors in parallel and notes (§2) that the two triangular
+// solves are far cheaper than the elimination; a production solver still
+// has to run them where the factors live. This driver executes
+// Ly = Pb / Ux = y as per-supernode tasks under the 1D cyclic mapping:
+// FS(k) depends on FS(j) for every nonzero L block (k, j) (block j's
+// elimination contributes to block k's rows), and BS(k) on BS(j) for
+// every nonzero U block (k, j). Messages carry the accumulated partial
+// sums for the target block's rows.
+#pragma once
+
+#include <vector>
+
+#include "core/numeric.hpp"
+#include "core/parallel_run.hpp"
+#include "sim/event_sim.hpp"
+
+namespace sstar {
+
+/// Simulate the distributed solve (and, when `b` is non-null, execute it
+/// for real: on return *b holds the solution, equal to numeric.solve()
+/// up to summation-order rounding). The task graph includes the
+/// pivot-dependent edges: block k's row interchange reads rows that
+/// earlier blocks may still be updating, so FS(j) -> FS(k) whenever a
+/// pivot target of k lies in j's panel. `numeric` must be factorized.
+ParallelRunResult run_solve_1d(const SStarNumeric& numeric,
+                               const sim::MachineModel& machine,
+                               std::vector<double>* b = nullptr);
+
+}  // namespace sstar

@@ -1,0 +1,260 @@
+#include "matrix/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sstar::gen {
+
+namespace {
+
+// Assigns numerical values to a structural pattern given as triplets with
+// placeholder values: off-diagonals uniform in [-1, 1), diagonals sized to
+// make most rows mildly dominant and `weak_diag_fraction` of rows weak so
+// GEPP must pivot off the diagonal.
+SparseMatrix assign_values(int n, std::vector<Triplet> t,
+                           const ValueOptions& vo) {
+  Rng rng(vo.seed ^ 0xabcdef1234567890ULL);
+  std::vector<double> row_abs_sum(static_cast<std::size_t>(n), 0.0);
+  for (auto& e : t) {
+    if (e.row == e.col) continue;
+    e.val = rng.uniform(-1.0, 1.0);
+    if (e.val == 0.0) e.val = 0.5;
+    row_abs_sum[e.row] += std::fabs(e.val);
+  }
+  Rng weak_rng(vo.seed ^ 0x5151515151515151ULL);
+  std::vector<double> diag(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double scale = row_abs_sum[i] > 0.0 ? row_abs_sum[i] : 1.0;
+    const bool weak = weak_rng.bernoulli(vo.weak_diag_fraction);
+    const double mag =
+        weak ? vo.weak_diag_scale * scale : (1.05 + weak_rng.uniform()) * scale;
+    diag[i] = weak_rng.bernoulli(0.5) ? mag : -mag;
+  }
+  bool seen_diag_flag = false;
+  for (auto& e : t) {
+    if (e.row == e.col) {
+      e.val = diag[e.row];
+      seen_diag_flag = true;
+    }
+  }
+  SSTAR_CHECK_MSG(seen_diag_flag || n == 0, "pattern lacks diagonal entries");
+  return SparseMatrix::from_triplets(n, n, std::move(t));
+}
+
+// Emits the full diagonal then lets `body` push off-diagonal structure.
+template <typename Body>
+SparseMatrix build(int n, const ValueOptions& vo, Body&& body) {
+  std::vector<Triplet> t;
+  for (int i = 0; i < n; ++i) t.push_back({i, i, 1.0});
+  body(t);
+  return assign_values(n, std::move(t), vo);
+}
+
+}  // namespace
+
+SparseMatrix stencil5(int nx, int ny, double drop_prob,
+                      const ValueOptions& vo) {
+  SSTAR_CHECK(nx > 0 && ny > 0);
+  const int n = nx * ny;
+  Rng drop(vo.seed ^ 0x1111);
+  return build(n, vo, [&](std::vector<Triplet>& t) {
+    auto idx = [&](int x, int y) { return x + nx * y; };
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const int c = idx(x, y);
+        const int nbr[4] = {x > 0 ? idx(x - 1, y) : -1,
+                            x + 1 < nx ? idx(x + 1, y) : -1,
+                            y > 0 ? idx(x, y - 1) : -1,
+                            y + 1 < ny ? idx(x, y + 1) : -1};
+        for (int r : nbr)
+          if (r >= 0 && !drop.bernoulli(drop_prob)) t.push_back({r, c, 1.0});
+      }
+    }
+  });
+}
+
+SparseMatrix stencil7_3d(int nx, int ny, int nz, double drop_prob,
+                         const ValueOptions& vo) {
+  SSTAR_CHECK(nx > 0 && ny > 0 && nz > 0);
+  const int n = nx * ny * nz;
+  Rng drop(vo.seed ^ 0x2222);
+  return build(n, vo, [&](std::vector<Triplet>& t) {
+    auto idx = [&](int x, int y, int z) { return x + nx * (y + ny * z); };
+    for (int z = 0; z < nz; ++z) {
+      for (int y = 0; y < ny; ++y) {
+        for (int x = 0; x < nx; ++x) {
+          const int c = idx(x, y, z);
+          const int nbr[6] = {x > 0 ? idx(x - 1, y, z) : -1,
+                              x + 1 < nx ? idx(x + 1, y, z) : -1,
+                              y > 0 ? idx(x, y - 1, z) : -1,
+                              y + 1 < ny ? idx(x, y + 1, z) : -1,
+                              z > 0 ? idx(x, y, z - 1) : -1,
+                              z + 1 < nz ? idx(x, y, z + 1) : -1};
+          for (int r : nbr)
+            if (r >= 0 && !drop.bernoulli(drop_prob)) t.push_back({r, c, 1.0});
+        }
+      }
+    }
+  });
+}
+
+SparseMatrix fem2d(int nx, int ny, int dofs, double drop_prob,
+                   const ValueOptions& vo) {
+  SSTAR_CHECK(nx > 0 && ny > 0 && dofs > 0);
+  const int n = nx * ny * dofs;
+  Rng drop(vo.seed ^ 0x3333);
+  return build(n, vo, [&](std::vector<Triplet>& t) {
+    auto vtx = [&](int x, int y) { return x + nx * y; };
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const int vc = vtx(x, y);
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int xx = x + dx, yy = y + dy;
+            if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
+            const int vr = vtx(xx, yy);
+            // Full dof x dof coupling block between neighbouring vertices.
+            for (int dc = 0; dc < dofs; ++dc) {
+              for (int dr = 0; dr < dofs; ++dr) {
+                const int r = vr * dofs + dr;
+                const int c = vc * dofs + dc;
+                if (r == c) continue;  // diagonal already present
+                if (!drop.bernoulli(drop_prob)) t.push_back({r, c, 1.0});
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+SparseMatrix fem3d(int nx, int ny, int nz, int dofs, double drop_prob,
+                   const ValueOptions& vo) {
+  SSTAR_CHECK(nx > 0 && ny > 0 && nz > 0 && dofs > 0);
+  const int n = nx * ny * nz * dofs;
+  Rng drop(vo.seed ^ 0x4444);
+  return build(n, vo, [&](std::vector<Triplet>& t) {
+    auto vtx = [&](int x, int y, int z) { return x + nx * (y + ny * z); };
+    for (int z = 0; z < nz; ++z) {
+      for (int y = 0; y < ny; ++y) {
+        for (int x = 0; x < nx; ++x) {
+          const int vc = vtx(x, y, z);
+          for (int dz = -1; dz <= 1; ++dz) {
+            for (int dy = -1; dy <= 1; ++dy) {
+              for (int dx = -1; dx <= 1; ++dx) {
+                const int xx = x + dx, yy = y + dy, zz = z + dz;
+                if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 ||
+                    zz >= nz)
+                  continue;
+                const int vr = vtx(xx, yy, zz);
+                for (int dc = 0; dc < dofs; ++dc) {
+                  for (int dr = 0; dr < dofs; ++dr) {
+                    const int r = vr * dofs + dr;
+                    const int c = vc * dofs + dc;
+                    if (r == c) continue;
+                    if (!drop.bernoulli(drop_prob)) t.push_back({r, c, 1.0});
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+SparseMatrix circuit(int n, double avg_offdiag, double symmetry_bias,
+                     const ValueOptions& vo) {
+  SSTAR_CHECK(n > 0 && avg_offdiag >= 0.0);
+  SSTAR_CHECK(symmetry_bias >= 0.0 && symmetry_bias <= 1.0);
+  Rng rng(vo.seed ^ 0x5555);
+  return build(n, vo, [&](std::vector<Triplet>& t) {
+    const std::int64_t target =
+        static_cast<std::int64_t>(avg_offdiag * n + 0.5);
+    for (std::int64_t e = 0; e < target; ++e) {
+      const int c = rng.uniform_int(0, n - 1);
+      // Mild preferential attachment: square the uniform variate so that
+      // low-index "rail/ground" nodes attract more connections, giving a
+      // few dense rows as in real circuit matrices.
+      const double u = rng.uniform();
+      int r = static_cast<int>(u * u * n);
+      if (r >= n) r = n - 1;
+      if (r == c) continue;
+      t.push_back({r, c, 1.0});
+      if (rng.bernoulli(symmetry_bias)) t.push_back({c, r, 1.0});
+    }
+  });
+}
+
+SparseMatrix unsym_band(int n, int lower_band, int upper_band,
+                        double band_fill, double longrange_per_row,
+                        const ValueOptions& vo) {
+  SSTAR_CHECK(n > 0 && lower_band >= 0 && upper_band >= 0);
+  Rng rng(vo.seed ^ 0x6666);
+  return build(n, vo, [&](std::vector<Triplet>& t) {
+    for (int c = 0; c < n; ++c) {
+      for (int r = c + 1; r <= std::min(n - 1, c + lower_band); ++r)
+        if (rng.bernoulli(band_fill)) t.push_back({r, c, 1.0});
+      for (int r = std::max(0, c - upper_band); r < c; ++r)
+        if (rng.bernoulli(band_fill)) t.push_back({r, c, 1.0});
+    }
+    const std::int64_t nlong =
+        static_cast<std::int64_t>(longrange_per_row * n + 0.5);
+    for (std::int64_t e = 0; e < nlong; ++e) {
+      const int r = rng.uniform_int(0, n - 1);
+      const int c = rng.uniform_int(0, n - 1);
+      if (r != c) t.push_back({r, c, 1.0});
+    }
+  });
+}
+
+SparseMatrix directional_stencil(int nx, int ny, int dofs, int dx_lo,
+                                 int dx_hi, int dy_lo, int dy_hi,
+                                 double drop_prob, const ValueOptions& vo) {
+  SSTAR_CHECK(nx > 0 && ny > 0 && dofs > 0);
+  SSTAR_CHECK(dx_lo <= dx_hi && dy_lo <= dy_hi);
+  const int n = nx * ny * dofs;
+  Rng drop(vo.seed ^ 0x8888);
+  return build(n, vo, [&](std::vector<Triplet>& t) {
+    auto vtx = [&](int x, int y) { return x + nx * y; };
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const int vc = vtx(x, y);
+        for (int dy = dy_lo; dy <= dy_hi; ++dy) {
+          for (int dx = dx_lo; dx <= dx_hi; ++dx) {
+            const int xx = x + dx, yy = y + dy;
+            if (xx < 0 || xx >= nx || yy < 0 || yy >= ny) continue;
+            const int vr = vtx(xx, yy);
+            for (int dc = 0; dc < dofs; ++dc) {
+              for (int dr = 0; dr < dofs; ++dr) {
+                const int r = vr * dofs + dr;
+                const int c = vc * dofs + dc;
+                if (r == c) continue;
+                if (!drop.bernoulli(drop_prob)) t.push_back({r, c, 1.0});
+              }
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+SparseMatrix dense_random(int n, std::uint64_t seed) {
+  Rng rng(seed ^ 0x7777);
+  DenseMatrix d(n, n);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      double v = rng.uniform(-1.0, 1.0);
+      if (v == 0.0) v = 0.25;
+      d(i, j) = v;
+    }
+  return SparseMatrix::from_dense(d);
+}
+
+}  // namespace sstar::gen

@@ -1,0 +1,80 @@
+// Synthetic sparse matrix generators.
+//
+// The paper evaluates on Harwell–Boeing / Davis-collection matrices that
+// are not redistributable offline, so the benchmark suite replicates each
+// one structurally (DESIGN.md substitution #3): same order, similar nnz
+// and structural symmetry, and the same application class (oil-reservoir
+// stencils, convection–diffusion, FEM fluids, circuits, and a highly
+// unsymmetric vavasis-like pattern).
+//
+// All generators:
+//  - produce square matrices with a structurally zero-free diagonal
+//    candidate set (a transversal exists);
+//  - are deterministic given the seed;
+//  - emit nonsymmetric numerical values, and leave a configurable
+//    fraction of rows non-dominant so partial pivoting actually fires.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/sparse.hpp"
+
+namespace sstar::gen {
+
+/// Knobs shared by the stencil/FEM generators.
+struct ValueOptions {
+  std::uint64_t seed = 1;
+  /// Fraction of rows whose diagonal is made small, forcing off-diagonal
+  /// pivots during GEPP.
+  double weak_diag_fraction = 0.10;
+  /// Magnitude given to "weak" diagonals relative to row scale.
+  double weak_diag_scale = 1e-3;
+};
+
+/// 2D five-point convection–diffusion operator on an nx x ny grid
+/// (sherman / orsreg / saylr class). `drop_prob` removes off-diagonal
+/// entries one-sidedly, lowering structural symmetry below 1.
+SparseMatrix stencil5(int nx, int ny, double drop_prob,
+                      const ValueOptions& vo);
+
+/// 3D seven-point operator on nx x ny x nz (sherman3-class).
+SparseMatrix stencil7_3d(int nx, int ny, int nz, double drop_prob,
+                         const ValueOptions& vo);
+
+/// 2D FEM-like operator: 9-point vertex stencil with `dofs` unknowns per
+/// vertex, all dofs of neighbouring vertices coupled (goodwin / e40r0100
+/// class: a few tens of entries per row).
+SparseMatrix fem2d(int nx, int ny, int dofs, double drop_prob,
+                   const ValueOptions& vo);
+
+/// 3D FEM-like operator: 27-point vertex stencil with `dofs` unknowns per
+/// vertex (ex11 / raefsky4 / inaccura class: 60+ entries per row).
+SparseMatrix fem3d(int nx, int ny, int nz, int dofs, double drop_prob,
+                   const ValueOptions& vo);
+
+/// Circuit-like matrix: zero-free diagonal plus `avg_offdiag` random
+/// off-diagonals per column with a mild preferential attachment, giving
+/// the short-and-bushy profile of jpwh991 / memplus.
+SparseMatrix circuit(int n, double avg_offdiag, double symmetry_bias,
+                     const ValueOptions& vo);
+
+/// Highly unsymmetric banded pattern: a lower band much wider than the
+/// upper band plus sparse long-range couplings.
+SparseMatrix unsym_band(int n, int lower_band, int upper_band,
+                        double band_fill, double longrange_per_row,
+                        const ValueOptions& vo);
+
+/// 2D vertex stencil with a DIRECTIONAL window: vertex (x, y) couples to
+/// vertices (x+dx, y+dy) for dx in [dx_lo, dx_hi], dy in [dy_lo, dy_hi]
+/// (all dofs coupled). An asymmetric window (e.g. dx in [0, 3]) yields a
+/// local but strongly structurally-unsymmetric operator — the vavasis3
+/// class.
+SparseMatrix directional_stencil(int nx, int ny, int dofs, int dx_lo,
+                                 int dx_hi, int dy_lo, int dy_hi,
+                                 double drop_prob, const ValueOptions& vo);
+
+/// Fully dense n x n matrix with random entries (the dense1000 row of
+/// Table 2).
+SparseMatrix dense_random(int n, std::uint64_t seed);
+
+}  // namespace sstar::gen

@@ -1,0 +1,34 @@
+// Harwell–Boeing (HB) format reader.
+//
+// The paper's benchmark matrices (sherman*, lns*, saylr4, jpwh991, ...)
+// were distributed in the Harwell–Boeing collection's fixed-column
+// Fortran format; a solver claiming to reproduce the paper should read
+// the originals when the user has them. Supports assembled real and
+// pattern matrices (RUA/RSA/PUA/PSA and the rectangular variants);
+// symmetric and skew-symmetric storage is expanded to full.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/sparse.hpp"
+
+namespace sstar::io {
+
+/// Metadata from the HB header.
+struct HbInfo {
+  std::string title;
+  std::string key;
+  std::string type;  ///< three-letter MXTYPE, upper-case (e.g. "RUA")
+};
+
+/// Parse an HB stream. Throws CheckError on malformed or unsupported
+/// input (element matrices, complex values). `info`, when non-null,
+/// receives the header metadata.
+SparseMatrix read_harwell_boeing(std::istream& in, HbInfo* info = nullptr);
+
+/// Read from a file path.
+SparseMatrix read_harwell_boeing(const std::string& path,
+                                 HbInfo* info = nullptr);
+
+}  // namespace sstar::io

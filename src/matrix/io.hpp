@@ -1,0 +1,30 @@
+// Matrix Market (coordinate format) reader/writer.
+//
+// The paper's benchmark matrices come from the Harwell–Boeing / Davis
+// collections, normally distributed in Matrix Market form. The real files
+// are not available offline (DESIGN.md substitution #3), but the library
+// still supports the format so users can run the solver on their own
+// matrices; the synthetic suite can also be exported for inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/sparse.hpp"
+
+namespace sstar::io {
+
+/// Parse a Matrix Market stream: "%%MatrixMarket matrix coordinate
+/// real|integer|pattern general|symmetric". Pattern entries get value 1,
+/// symmetric inputs are expanded to full storage. Throws CheckError on
+/// malformed input.
+SparseMatrix read_matrix_market(std::istream& in);
+
+/// Read from a file path.
+SparseMatrix read_matrix_market(const std::string& path);
+
+/// Write in "coordinate real general" form.
+void write_matrix_market(const SparseMatrix& m, std::ostream& out);
+void write_matrix_market(const SparseMatrix& m, const std::string& path);
+
+}  // namespace sstar::io

@@ -1,0 +1,42 @@
+// Structural (pattern-only) operations on sparse matrices.
+//
+// The S* pipeline orders columns by minimum degree on the pattern of AᵀA
+// (§3.1) and compares fill bounds against the symbolic Cholesky factor of
+// AᵀA (Table 1); both need pattern products without numerical values.
+#pragma once
+
+#include <vector>
+
+#include "matrix/sparse.hpp"
+
+namespace sstar {
+
+/// Column-structure view used by symbolic algorithms: for each column j,
+/// the sorted list of row indices.
+struct Pattern {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int> col_ptr;
+  std::vector<int> row_idx;
+
+  std::int64_t nnz() const { return static_cast<std::int64_t>(row_idx.size()); }
+  int col_begin(int j) const { return col_ptr[j]; }
+  int col_end(int j) const { return col_ptr[j + 1]; }
+};
+
+/// Extract the pattern of A.
+Pattern pattern_of(const SparseMatrix& a);
+
+/// Pattern of AᵀA (structural, no cancellation). Result is symmetric;
+/// both triangles are stored.
+Pattern ata_pattern(const SparseMatrix& a);
+
+/// Pattern of A + Aᵀ (square A).
+Pattern aplusat_pattern(const SparseMatrix& a);
+
+/// Structural symmetry score in [0, 1]: fraction of off-diagonal stored
+/// entries (i, j) whose mirror (j, i) is also stored. 1 = symmetric
+/// pattern. Matrices with no off-diagonal entries score 1.
+double structural_symmetry(const SparseMatrix& a);
+
+}  // namespace sstar

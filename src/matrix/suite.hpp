@@ -1,0 +1,55 @@
+// The benchmark matrix suite: structural replicas of the paper's Table 1
+// test set (see DESIGN.md substitution #3 for why replicas).
+//
+// Every entry knows the published order and nonzero count so bench output
+// can print paper-vs-replica statistics side by side. Entries can be
+// generated at reduced `scale` (0 < scale <= 1) to keep full parameter
+// sweeps tractable on a single-core host: scale shrinks the underlying
+// grid so that the order is roughly scale * paper order while density and
+// symmetry class are preserved.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "matrix/sparse.hpp"
+
+namespace sstar::gen {
+
+/// One named matrix of the paper's evaluation.
+struct SuiteEntry {
+  std::string name;          ///< paper identifier, e.g. "sherman5"
+  int paper_order = 0;       ///< published order
+  std::int64_t paper_nnz = 0;///< published |A|
+  bool large = false;        ///< in the paper's "large matrices" group
+  bool extra = false;        ///< §3.1 overestimation outliers (memplus, wang3)
+  /// Generate the replica at the given scale with the given seed.
+  std::function<SparseMatrix(double scale, std::uint64_t seed)> make;
+
+  SparseMatrix generate(double scale = 1.0, std::uint64_t seed = 1) const {
+    return make(scale, seed);
+  }
+};
+
+/// Leading n x n principal submatrix of A (used to hit exact published
+/// orders when a grid product overshoots, mirroring how the paper itself
+/// truncates BCSSTK33 into b33_5600).
+SparseMatrix principal_submatrix(const SparseMatrix& a, int n);
+
+/// All Table 1 + Table 2 matrices in paper order, plus dense1000 and
+/// b33_5600 and the two `extra` outliers.
+const std::vector<SuiteEntry>& suite();
+
+/// Look up one entry by name. Throws CheckError if unknown.
+const SuiteEntry& suite_entry(const std::string& name);
+
+/// Convenience: the subset used by the paper's small-matrix experiments
+/// (Tables 2-4, Figs. 16-18).
+std::vector<std::string> small_set();
+
+/// The "large matrices" of Tables 5 and 6.
+std::vector<std::string> large_set();
+
+}  // namespace sstar::gen

@@ -1,0 +1,29 @@
+// Elimination tree and postordering for symmetric patterns.
+//
+// The S* pipeline needs the elimination tree of AᵀA twice: symbolic
+// Cholesky of AᵀA (the loose fill bound of Table 1) and supernode
+// reasoning. `Pattern` inputs must be symmetric with both triangles
+// stored (as produced by ata_pattern / aplusat_pattern).
+#pragma once
+
+#include <vector>
+
+#include "matrix/pattern_ops.hpp"
+
+namespace sstar {
+
+/// Liu's elimination-tree algorithm with path compression.
+/// parent[j] = parent column of j, or -1 for roots.
+std::vector<int> elimination_tree(const Pattern& sym);
+
+/// Postorder of a forest given by parent[]: returns `post` with
+/// post[k] = the node visited k-th; children before parents.
+std::vector<int> postorder(const std::vector<int>& parent);
+
+/// Number of nonzeros per column of the Cholesky factor L of the
+/// symmetric pattern (diagonal included), computed by row-subtree
+/// traversal. Total fill = sum of the result.
+std::vector<std::int64_t> cholesky_col_counts(const Pattern& sym,
+                                              const std::vector<int>& parent);
+
+}  // namespace sstar

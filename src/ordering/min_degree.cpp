@@ -1,0 +1,350 @@
+#include "ordering/min_degree.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sstar {
+
+namespace {
+
+// Node roles in the quotient graph.
+enum class State : unsigned char {
+  kVariable,   // principal supervariable, not yet eliminated
+  kAbsorbed,   // merged into another supervariable
+  kElement,    // eliminated pivot acting as an element
+  kDead,       // element absorbed by a newer element
+};
+
+class MinDegree {
+ public:
+  explicit MinDegree(const Pattern& sym) : n_(sym.cols) {
+    SSTAR_CHECK(sym.rows == sym.cols);
+    state_.assign(n_, State::kVariable);
+    nv_.assign(n_, 1);
+    degree_.assign(n_, 0);
+    adj_vars_.resize(n_);
+    adj_elems_.resize(n_);
+    elem_vars_.resize(n_);
+    absorb_parent_.assign(n_, -1);
+    mark_.assign(n_, -1);
+    wstamp_.assign(n_, -1);
+    w_.assign(n_, 0);
+
+    for (int j = 0; j < n_; ++j) {
+      auto& av = adj_vars_[j];
+      for (int k = sym.col_begin(j); k < sym.col_end(j); ++k) {
+        const int i = sym.row_idx[k];
+        if (i != j) av.push_back(i);
+      }
+      degree_[j] = static_cast<int>(av.size());
+    }
+
+    bucket_head_.assign(n_ + 1, -1);
+    dnext_.assign(n_, -1);
+    dprev_.assign(n_, -1);
+    in_bucket_.assign(n_, false);
+    for (int j = 0; j < n_; ++j) bucket_insert(j);
+  }
+
+  std::vector<int> run() {
+    std::vector<int> order;
+    order.reserve(n_);
+    int remaining = n_;
+    while (remaining > 0) {
+      // Degrees of updated variables can drop below the previous minimum
+      // (supervariable absorption), so rescan from zero; the scan cost is
+      // bounded by the current minimum degree per step.
+      int mind = 0;
+      while (mind <= n_ && bucket_head_[mind] == -1) ++mind;
+      SSTAR_CHECK_MSG(mind <= n_, "degree buckets exhausted early");
+      const int p = bucket_head_[mind];
+      bucket_remove(p);
+      remaining -= eliminate(p, order);
+    }
+    // order holds principal supervariables only; expand_order() restores
+    // the absorbed variables, bringing the length back to n.
+    return order;
+  }
+
+ private:
+  // ---- degree buckets -------------------------------------------------
+  void bucket_insert(int v) {
+    SSTAR_CHECK(!in_bucket_[v]);
+    const int d = degree_[v];
+    dnext_[v] = bucket_head_[d];
+    dprev_[v] = -1;
+    if (bucket_head_[d] != -1) dprev_[bucket_head_[d]] = v;
+    bucket_head_[d] = v;
+    in_bucket_[v] = true;
+  }
+
+  void bucket_remove(int v) {
+    if (!in_bucket_[v]) return;
+    const int d = degree_[v];
+    if (dprev_[v] != -1)
+      dnext_[dprev_[v]] = dnext_[v];
+    else
+      bucket_head_[d] = dnext_[v];
+    if (dnext_[v] != -1) dprev_[dnext_[v]] = dprev_[v];
+    in_bucket_[v] = false;
+  }
+
+  // ---- element list maintenance --------------------------------------
+  // Compact elem_vars_[e], dropping non-principal entries; returns the
+  // total weight of the remaining members. Safe because supervariables
+  // merge only when their adjacency is identical, so the principal is
+  // always present wherever an absorbed twin was.
+  int compact_element(int e) {
+    auto& vars = elem_vars_[e];
+    int w = 0;
+    std::size_t out = 0;
+    for (int v : vars) {
+      if (state_[v] == State::kVariable) {
+        vars[out++] = v;
+        w += nv_[v];
+      }
+    }
+    vars.resize(out);
+    return w;
+  }
+
+  // ---- the pivot elimination step ------------------------------------
+  // Returns the number of original variables retired by this step
+  // (pivot supervariable weight plus any mass-eliminated neighbors).
+  int eliminate(int p, std::vector<int>& order) {
+    const int stamp = ++stamp_;
+    mark_[p] = stamp;
+
+    // Build Lp: principal variables adjacent to p, via variable neighbors
+    // and via the variables of p's elements (which p's element absorbs).
+    lp_.clear();
+    for (int v : adj_vars_[p]) {
+      if (state_[v] != State::kVariable) continue;
+      if (mark_[v] == stamp) continue;
+      mark_[v] = stamp;
+      lp_.push_back(v);
+    }
+    for (int e : adj_elems_[p]) {
+      if (state_[e] != State::kElement) continue;
+      for (int v : elem_vars_[e]) {
+        if (state_[v] != State::kVariable || mark_[v] == stamp) continue;
+        mark_[v] = stamp;
+        lp_.push_back(v);
+      }
+      state_[e] = State::kDead;  // absorbed into the new element p
+      elem_vars_[e].clear();
+      elem_vars_[e].shrink_to_fit();
+    }
+
+    // p becomes an element.
+    const int pivot_weight = nv_[p];
+    state_[p] = State::kElement;
+    elem_vars_[p] = lp_;
+    adj_vars_[p].clear();
+    adj_vars_[p].shrink_to_fit();
+    adj_elems_[p].clear();
+    adj_elems_[p].shrink_to_fit();
+    order.push_back(p);
+
+    int lp_weight = 0;
+    for (int v : lp_) lp_weight += nv_[v];
+
+    // Pre-pass (AMD's |Le \ Lp| computation): w_[e] ends as the weight of
+    // element e's variables outside Lp.
+    const int wst = ++wstamp_counter_;
+    for (int v : lp_) {
+      for (int e : adj_elems_[v]) {
+        if (state_[e] != State::kElement || e == p) continue;
+        if (wstamp_[e] != wst) {
+          wstamp_[e] = wst;
+          w_[e] = compact_element(e);
+        }
+        w_[e] -= nv_[v];
+      }
+    }
+
+    // Update every variable in Lp.
+    int mass_eliminated = 0;
+    for (int v : lp_) {
+      bucket_remove(v);
+
+      // Clean element list: drop dead elements, keep live ones, add p.
+      auto& ev = adj_elems_[v];
+      std::size_t out = 0;
+      long long elem_deg = 0;
+      for (int e : ev) {
+        if (state_[e] != State::kElement || e == p) continue;
+        ev[out++] = e;
+        elem_deg += (wstamp_[e] == wst ? w_[e] : compact_element(e));
+      }
+      ev.resize(out);
+      ev.push_back(p);
+
+      // Clean variable list: drop entries covered by element p (all of
+      // Lp) and non-principal entries.
+      auto& av = adj_vars_[v];
+      out = 0;
+      long long var_deg = 0;
+      for (int u : av) {
+        if (state_[u] != State::kVariable || mark_[u] == stamp || u == v)
+          continue;
+        av[out++] = u;
+        var_deg += nv_[u];
+      }
+      av.resize(out);
+
+      long long d = var_deg + elem_deg +
+                    static_cast<long long>(lp_weight - nv_[v]);
+      if (d < 0) d = 0;
+      if (d > n_ - 1) d = n_ - 1;
+      degree_[v] = static_cast<int>(d);
+    }
+
+    // Supervariable detection among Lp members: hash on adjacency, then
+    // verify exact equality of (adj_vars, adj_elems) as sets.
+    detect_supervariables();
+
+    // Mass elimination + requeue survivors.
+    for (int v : lp_) {
+      if (state_[v] != State::kVariable) continue;  // absorbed just now
+      if (degree_[v] == 0) {
+        // v is adjacent only to element p: eliminate it immediately.
+        state_[v] = State::kElement;  // empty element, never referenced
+        elem_vars_[v].clear();
+        adj_vars_[v].clear();
+        adj_elems_[v].clear();
+        order.push_back(v);
+        mass_eliminated += nv_[v];
+      } else {
+        bucket_insert(v);
+      }
+    }
+    return pivot_weight + mass_eliminated;
+  }
+
+  void detect_supervariables() {
+    // Hash = sum of neighbor ids (variables and elements), cheap and
+    // order-independent.
+    hash_buckets_.clear();
+    for (int v : lp_) {
+      if (state_[v] != State::kVariable) continue;
+      unsigned long long h = 0;
+      for (int u : adj_vars_[v])
+        if (state_[u] == State::kVariable) h += static_cast<unsigned>(u) + 1u;
+      for (int e : adj_elems_[v])
+        if (state_[e] == State::kElement)
+          h += 0x9e3779b9ull * (static_cast<unsigned>(e) + 1u);
+      hash_buckets_.push_back({h, v});
+    }
+    std::sort(hash_buckets_.begin(), hash_buckets_.end());
+    for (std::size_t i = 0; i < hash_buckets_.size(); ++i) {
+      const int u = hash_buckets_[i].second;
+      if (state_[u] != State::kVariable) continue;
+      for (std::size_t j = i + 1; j < hash_buckets_.size() &&
+                                  hash_buckets_[j].first ==
+                                      hash_buckets_[i].first;
+           ++j) {
+        const int v = hash_buckets_[j].second;
+        if (state_[v] != State::kVariable) continue;
+        if (same_adjacency(u, v)) {
+          // Absorb v into u.
+          nv_[u] += nv_[v];
+          nv_[v] = 0;
+          state_[v] = State::kAbsorbed;
+          absorb_parent_[v] = u;
+          adj_vars_[v].clear();
+          adj_elems_[v].clear();
+          // u's external degree shrinks by v's weight (v was counted as
+          // part of Lp's weight in u's degree).
+        }
+      }
+    }
+  }
+
+  bool same_adjacency(int u, int v) {
+    scratch_u_.clear();
+    scratch_v_.clear();
+    for (int x : adj_vars_[u])
+      if (state_[x] == State::kVariable && x != v) scratch_u_.push_back(x);
+    for (int x : adj_vars_[v])
+      if (state_[x] == State::kVariable && x != u) scratch_v_.push_back(x);
+    if (scratch_u_.size() != scratch_v_.size()) return false;
+    std::sort(scratch_u_.begin(), scratch_u_.end());
+    std::sort(scratch_v_.begin(), scratch_v_.end());
+    if (scratch_u_ != scratch_v_) return false;
+
+    scratch_u_.clear();
+    scratch_v_.clear();
+    for (int x : adj_elems_[u])
+      if (state_[x] == State::kElement) scratch_u_.push_back(x);
+    for (int x : adj_elems_[v])
+      if (state_[x] == State::kElement) scratch_v_.push_back(x);
+    std::sort(scratch_u_.begin(), scratch_u_.end());
+    std::sort(scratch_v_.begin(), scratch_v_.end());
+    scratch_u_.erase(std::unique(scratch_u_.begin(), scratch_u_.end()),
+                     scratch_u_.end());
+    scratch_v_.erase(std::unique(scratch_v_.begin(), scratch_v_.end()),
+                     scratch_v_.end());
+    return scratch_u_ == scratch_v_;
+  }
+
+ public:
+  // Expand the elimination order of principals into original variables.
+  std::vector<int> expand_order(const std::vector<int>& principal_order) {
+    // Children of each principal in absorption order.
+    std::vector<std::vector<int>> kids(n_);
+    for (int v = 0; v < n_; ++v)
+      if (absorb_parent_[v] != -1) kids[absorb_parent_[v]].push_back(v);
+    std::vector<int> full;
+    full.reserve(n_);
+    // Depth-first expansion (absorption chains can nest).
+    std::vector<int> stack;
+    for (int p : principal_order) {
+      stack.push_back(p);
+      while (!stack.empty()) {
+        const int v = stack.back();
+        stack.pop_back();
+        full.push_back(v);
+        for (int c : kids[v]) stack.push_back(c);
+      }
+    }
+    SSTAR_CHECK(static_cast<int>(full.size()) == n_);
+    return full;
+  }
+
+ private:
+  int n_;
+  std::vector<State> state_;
+  std::vector<int> nv_;
+  std::vector<int> degree_;
+  std::vector<std::vector<int>> adj_vars_;
+  std::vector<std::vector<int>> adj_elems_;
+  std::vector<std::vector<int>> elem_vars_;
+  std::vector<int> absorb_parent_;
+
+  std::vector<int> mark_;
+  int stamp_ = 0;
+  std::vector<int> wstamp_;
+  int wstamp_counter_ = 0;
+  std::vector<int> w_;
+
+  std::vector<int> bucket_head_;
+  std::vector<int> dnext_, dprev_;
+  std::vector<bool> in_bucket_;
+
+  std::vector<int> lp_;
+  std::vector<std::pair<unsigned long long, int>> hash_buckets_;
+  std::vector<int> scratch_u_, scratch_v_;
+};
+
+}  // namespace
+
+std::vector<int> min_degree_order(const Pattern& sym) {
+  if (sym.cols == 0) return {};
+  MinDegree md(sym);
+  const std::vector<int> principals = md.run();
+  return md.expand_order(principals);
+}
+
+}  // namespace sstar

@@ -1,0 +1,22 @@
+// Minimum-degree fill-reducing ordering on a symmetric pattern.
+//
+// The paper orders columns by multiple minimum degree (MMD) on AᵀA
+// (§3.1). This module implements the modern equivalent: an approximate
+// minimum degree (AMD-style) over a quotient graph with element
+// absorption, supervariable (indistinguishable-node) merging and mass
+// elimination — the same family of heuristics, producing orderings of the
+// same quality class. Input patterns must be symmetric with both
+// triangles stored (ata_pattern output); the diagonal is ignored.
+#pragma once
+
+#include <vector>
+
+#include "matrix/pattern_ops.hpp"
+
+namespace sstar {
+
+/// Compute a minimum-degree elimination order.
+/// Returns perm (new -> old): perm[k] is the k-th eliminated vertex.
+std::vector<int> min_degree_order(const Pattern& sym);
+
+}  // namespace sstar

@@ -1,0 +1,167 @@
+#include "ordering/nested_dissection.hpp"
+
+#include <algorithm>
+
+#include "ordering/min_degree.hpp"
+#include "util/check.hpp"
+
+namespace sstar {
+
+namespace {
+
+// Recursive dissection working on vertex subsets of one global graph.
+class Dissector {
+ public:
+  Dissector(const Pattern& g, const NestedDissectionOptions& opt)
+      : g_(g), opt_(opt), state_(static_cast<std::size_t>(g.cols), -1) {
+    order_.reserve(static_cast<std::size_t>(g.cols));
+  }
+
+  std::vector<int> run() {
+    std::vector<int> all(static_cast<std::size_t>(g_.cols));
+    for (int v = 0; v < g_.cols; ++v) all[v] = v;
+    dissect(all, 0);
+    SSTAR_CHECK(static_cast<int>(order_.size()) == g_.cols);
+    return std::move(order_);
+  }
+
+ private:
+  // `state_[v] == stamp` marks membership of the current working set;
+  // levels / sides reuse the same array with derived stamps.
+  void dissect(const std::vector<int>& verts, int depth) {
+    if (static_cast<int>(verts.size()) <= opt_.leaf_size ||
+        depth >= opt_.max_depth) {
+      order_leaf(verts);
+      return;
+    }
+
+    // Membership stamp for this invocation.
+    const int stamp = next_stamp_++;
+    for (const int v : verts) state_[v] = stamp;
+
+    // BFS level structure from a pseudo-peripheral-ish root (two sweeps).
+    int root = verts.front();
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      const int last = bfs(verts, root, stamp);
+      if (last == root) break;
+      root = last;
+    }
+    const int depth_levels = bfs_levels(verts, root, stamp);
+    if (depth_levels < 3) {
+      // No usable separator (dense or disconnected shell): fall back.
+      order_leaf(verts);
+      return;
+    }
+
+    // Separator = the middle BFS level; sides = below / above it.
+    // Unreached vertices (other components) join side A.
+    const int mid = depth_levels / 2;
+    std::vector<int> sep, a, b;
+    for (const int v : verts) {
+      const int lv = level_of_[v];
+      if (lv == mid)
+        sep.push_back(v);
+      else if (lv >= 0 && lv > mid)
+        b.push_back(v);
+      else
+        a.push_back(v);
+    }
+    if (sep.empty() || a.empty() || b.empty()) {
+      order_leaf(verts);
+      return;
+    }
+
+    dissect(a, depth + 1);
+    dissect(b, depth + 1);
+    for (const int v : sep) order_.push_back(v);
+  }
+
+  // BFS from root over vertices with state_ == stamp; returns the last
+  // vertex reached (for pseudo-peripheral probing).
+  int bfs(const std::vector<int>& verts, int root, int stamp) {
+    for (const int v : verts) level_of_[v] = -1;
+    queue_.clear();
+    queue_.push_back(root);
+    level_of_[root] = 0;
+    std::size_t head = 0;
+    int last = root;
+    while (head < queue_.size()) {
+      const int v = queue_[head++];
+      last = v;
+      for (int k = g_.col_begin(v); k < g_.col_end(v); ++k) {
+        const int w = g_.row_idx[k];
+        if (state_[w] == stamp && level_of_[w] < 0) {
+          level_of_[w] = level_of_[v] + 1;
+          queue_.push_back(w);
+        }
+      }
+    }
+    return last;
+  }
+
+  // Like bfs() but returns the number of levels.
+  int bfs_levels(const std::vector<int>& verts, int root, int stamp) {
+    bfs(verts, root, stamp);
+    int levels = 0;
+    for (const int v : verts) levels = std::max(levels, level_of_[v] + 1);
+    return levels;
+  }
+
+  void order_leaf(const std::vector<int>& verts) {
+    if (verts.size() == 1) {
+      order_.push_back(verts.front());
+      return;
+    }
+    // Induced subgraph, ordered by minimum degree.
+    const int stamp = next_stamp_++;
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      state_[verts[i]] = stamp;
+      index_of_[verts[i]] = static_cast<int>(i);
+    }
+    Pattern sub;
+    sub.rows = sub.cols = static_cast<int>(verts.size());
+    sub.col_ptr.assign(verts.size() + 1, 0);
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      const int v = verts[i];
+      for (int k = g_.col_begin(v); k < g_.col_end(v); ++k) {
+        const int w = g_.row_idx[k];
+        if (state_[w] == stamp) sub.row_idx.push_back(index_of_[w]);
+      }
+      sub.col_ptr[i + 1] = static_cast<int>(sub.row_idx.size());
+    }
+    const std::vector<int> perm = min_degree_order(sub);
+    for (const int li : perm) order_.push_back(verts[li]);
+  }
+
+  const Pattern& g_;
+  NestedDissectionOptions opt_;
+  std::vector<int> state_;
+  std::vector<int> order_;
+  std::vector<int> queue_;
+  int next_stamp_ = 0;
+
+  // Lazily sized scratch.
+ public:
+  void init_scratch() {
+    level_of_.assign(static_cast<std::size_t>(g_.cols), -1);
+    index_of_.assign(static_cast<std::size_t>(g_.cols), -1);
+  }
+
+ private:
+  std::vector<int> level_of_;
+  std::vector<int> index_of_;
+};
+
+}  // namespace
+
+std::vector<int> nested_dissection_order(
+    const Pattern& sym, const NestedDissectionOptions& opt) {
+  SSTAR_CHECK(sym.rows == sym.cols);
+  SSTAR_CHECK(opt.leaf_size >= 1);
+  if (sym.cols == 0) return {};
+  Dissector d(sym, opt);
+  d.init_scratch();
+  return d.run();
+}
+
+}  // namespace sstar

@@ -1,0 +1,29 @@
+// Nested dissection ordering (George), level-structure separator flavor.
+//
+// The paper's §7 names ordering strategy as the open lever on the static
+// scheme's overestimation; nested dissection is the classical alternative
+// to minimum degree for grid-like problems (most of the benchmark suite)
+// and feeds the ordering ablation bench. Separators are taken as the
+// middle level of a BFS level structure from a pseudo-peripheral vertex;
+// small subgraphs fall back to minimum degree.
+#pragma once
+
+#include <vector>
+
+#include "matrix/pattern_ops.hpp"
+
+namespace sstar {
+
+struct NestedDissectionOptions {
+  /// Subgraphs at or below this size are ordered by minimum degree.
+  int leaf_size = 64;
+  /// Recursion safety cap.
+  int max_depth = 64;
+};
+
+/// Compute a nested dissection order of a symmetric pattern.
+/// Returns perm (new -> old).
+std::vector<int> nested_dissection_order(
+    const Pattern& sym, const NestedDissectionOptions& opt = {});
+
+}  // namespace sstar

@@ -1,0 +1,102 @@
+#include "ordering/rcm.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sstar {
+
+namespace {
+
+// BFS from root; returns the vertices of the last level and fills
+// `order` (if non-null) with the level-by-level traversal, neighbors
+// sorted by increasing degree as classic Cuthill–McKee prescribes.
+std::vector<int> bfs_levels(const Pattern& g, int root,
+                            std::vector<int>& mark, int stamp,
+                            std::vector<int>* order) {
+  std::vector<int> frontier{root};
+  mark[root] = stamp;
+  std::vector<int> last;
+  std::vector<int> next;
+  while (!frontier.empty()) {
+    if (order) order->insert(order->end(), frontier.begin(), frontier.end());
+    last = frontier;
+    next.clear();
+    for (int v : frontier) {
+      for (int k = g.col_begin(v); k < g.col_end(v); ++k) {
+        const int w = g.row_idx[k];
+        if (mark[w] != stamp) {
+          mark[w] = stamp;
+          next.push_back(w);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end(), [&](int a, int b) {
+      const int da = g.col_end(a) - g.col_begin(a);
+      const int db = g.col_end(b) - g.col_begin(b);
+      return da != db ? da < db : a < b;
+    });
+    frontier = next;
+  }
+  return last;
+}
+
+}  // namespace
+
+std::vector<int> rcm_order(const Pattern& sym) {
+  SSTAR_CHECK(sym.rows == sym.cols);
+  const int n = sym.cols;
+  std::vector<int> mark(static_cast<std::size_t>(n), -1);
+  std::vector<char> placed(static_cast<std::size_t>(n), 0);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  int stamp = 0;
+
+  for (int seed = 0; seed < n; ++seed) {
+    if (placed[seed]) continue;
+
+    // Find a pseudo-peripheral vertex by alternating BFS sweeps.
+    int root = seed;
+    std::vector<int> last = bfs_levels(sym, root, mark, ++stamp, nullptr);
+    for (int iter = 0; iter < 4 && !last.empty(); ++iter) {
+      int best = last.front();
+      for (int v : last) {
+        const int dv = sym.col_end(v) - sym.col_begin(v);
+        const int db = sym.col_end(best) - sym.col_begin(best);
+        if (dv < db) best = v;
+      }
+      if (best == root) break;
+      root = best;
+      last = bfs_levels(sym, root, mark, ++stamp, nullptr);
+    }
+
+    const std::size_t before = order.size();
+    bfs_levels(sym, root, mark, ++stamp, &order);
+    for (std::size_t i = before; i < order.size(); ++i) placed[order[i]] = 1;
+  }
+  SSTAR_CHECK(static_cast<int>(order.size()) == n);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<int> invert_permutation(const std::vector<int>& perm) {
+  std::vector<int> inv(perm.size(), -1);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    SSTAR_CHECK(perm[i] >= 0 &&
+                perm[i] < static_cast<int>(perm.size()) &&
+                inv[perm[i]] == -1);
+    inv[perm[i]] = static_cast<int>(i);
+  }
+  return inv;
+}
+
+bool is_permutation(const std::vector<int>& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (int v : perm) {
+    if (v < 0 || v >= static_cast<int>(perm.size()) || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+}  // namespace sstar

@@ -1,0 +1,25 @@
+// Reverse Cuthill–McKee ordering.
+//
+// Provided as the simple alternative fill-reducing ordering (the paper's
+// future-work discussion asks for ordering strategies beyond minimum
+// degree; RCM gives the bandwidth-oriented point of comparison in the
+// ordering ablation bench).
+#pragma once
+
+#include <vector>
+
+#include "matrix/pattern_ops.hpp"
+
+namespace sstar {
+
+/// RCM ordering of a symmetric pattern. Returns perm (new -> old).
+/// Each connected component is started from a pseudo-peripheral vertex.
+std::vector<int> rcm_order(const Pattern& sym);
+
+/// Inverse of a permutation given as new -> old; result maps old -> new.
+std::vector<int> invert_permutation(const std::vector<int>& perm);
+
+/// True if perm is a permutation of 0..n-1.
+bool is_permutation(const std::vector<int>& perm);
+
+}  // namespace sstar

@@ -1,0 +1,50 @@
+// Scheduling of the 1D LU task graph (§5.1).
+//
+// Two schedulers, matching the paper's comparison:
+//  - compute-ahead (CA): block-cyclic column mapping with Fig. 10's
+//    global order, where Factor(k+1) runs as soon as Update(k, k+1)
+//    finishes so the next pivot broadcast leaves early;
+//  - graph scheduling (the paper uses RAPID [16]; we implement the same
+//    family: bottom-level priorities with earliest-finish-time processor
+//    selection, binding every column block to one processor —
+//    owner-computes — and ordering each processor's tasks by the
+//    schedule).
+#pragma once
+
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "sim/machine.hpp"
+
+namespace sstar::sched {
+
+struct Schedule1D {
+  /// Column block -> owning processor.
+  std::vector<int> block_owner;
+  /// Per processor, task ids (into the LuTaskGraph) in execution order.
+  std::vector<std::vector<int>> proc_order;
+};
+
+/// Modeled cost of each task in seconds and of each Factor->Update
+/// message, for the given machine.
+struct TaskCosts {
+  std::vector<double> task_seconds;     ///< per task id
+  std::vector<double> factor_bytes;     ///< per supernode k: payload bytes
+};
+
+TaskCosts model_costs(const LuTaskGraph& graph, const sim::MachineModel& m);
+
+/// Bottom levels (longest path to an exit, counting task costs plus
+/// communication on Factor->Update edges).
+std::vector<double> bottom_levels(const LuTaskGraph& graph,
+                                  const TaskCosts& costs,
+                                  const sim::MachineModel& m);
+
+/// Fig. 10: cyclic mapping + compute-ahead order.
+Schedule1D compute_ahead_schedule(const LuTaskGraph& graph, int processors);
+
+/// Critical-path list scheduling (ETF with b-level priorities).
+Schedule1D graph_schedule(const LuTaskGraph& graph,
+                          const sim::MachineModel& m);
+
+}  // namespace sstar::sched

@@ -1,0 +1,119 @@
+// Deterministic discrete-event simulator for SPMD task programs.
+//
+// A ParallelProgram is: per virtual processor, an ORDERED list of tasks
+// (the processor's program order, like the SPMD loops of Figs. 10/12),
+// plus point-to-point messages between tasks. A task starts when its
+// predecessor on the same processor has finished AND all its incoming
+// messages have arrived (arrival = sender finish + latency + bytes /
+// bandwidth, the RMA put model); it finishes after its modeled compute
+// time. Tasks may carry a real numeric closure, executed exactly once in
+// a dependency-respecting order, so the simulated algorithms compute
+// real factors while the clocks compute the paper's parallel times.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace sstar::sim {
+
+using TaskId = int;
+
+struct TaskDef {
+  int proc = 0;             ///< owning virtual processor
+  double seconds = 0.0;     ///< modeled execution time
+  std::string label;        ///< e.g. "F(3)", "U(3,7)" (Gantt output)
+  int stage = -1;           ///< elimination step k (metrics); -1 = none
+  int kind = 0;             ///< caller-defined tag (metrics filtering)
+  std::function<void()> run;///< optional numeric payload
+};
+
+struct MessageDef {
+  TaskId from = 0;
+  TaskId to = 0;
+  double bytes = 0.0;
+};
+
+class ParallelProgram;
+class SimulationResult;
+SimulationResult simulate(const ParallelProgram& prog,
+                          const MachineModel& machine);
+
+class ParallelProgram {
+ public:
+  explicit ParallelProgram(int processors) : procs_(processors) {}
+
+  int processors() const { return procs_; }
+
+  /// Append a task to a processor's program order; returns its id.
+  TaskId add_task(TaskDef def);
+
+  /// Add a message edge. Self-messages (same processor) are treated as
+  /// plain ordering constraints with zero cost.
+  void add_message(TaskId from, TaskId to, double bytes);
+
+  /// A pure ordering edge (no data, no cost beyond ordering).
+  void add_dependency(TaskId from, TaskId to) { add_message(from, to, -1.0); }
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  const TaskDef& task(TaskId t) const { return tasks_[t]; }
+
+ private:
+  friend class SimulationResult;
+  friend SimulationResult simulate(const ParallelProgram&,
+                                   const MachineModel&);
+  int procs_;
+  std::vector<TaskDef> tasks_;
+  std::vector<std::vector<TaskId>> order_;  // per proc
+  std::vector<MessageDef> messages_;
+};
+
+/// Per-task schedule plus aggregate metrics.
+class SimulationResult {
+ public:
+  double makespan = 0.0;             ///< parallel time, seconds
+  std::vector<double> start;         ///< per task
+  std::vector<double> finish;        ///< per task
+  std::vector<double> busy;          ///< per proc: sum of task seconds
+  double total_work = 0.0;           ///< sum of task seconds
+  double comm_volume_bytes = 0.0;    ///< sum over cross-proc messages
+  std::int64_t message_count = 0;    ///< cross-proc messages
+
+  /// Load balance factor work_total / (P * work_max), as in Fig. 18.
+  double load_balance() const;
+
+  /// Maximum stage-overlap among concurrently executing tasks of the
+  /// given kind: max over time of (max stage - min stage). Theorem 2.
+  int stage_overlap(const ParallelProgram& prog, int kind) const;
+  /// Same, restricted to processors in one column of the given grid
+  /// (procs are numbered row-major: proc = r * grid.cols + c).
+  int stage_overlap_within_column(const ParallelProgram& prog, int kind,
+                                  const Grid& grid) const;
+
+  /// High-water mark, over time and processors, of bytes of messages
+  /// that have arrived at a processor but whose consuming task has not
+  /// yet started (the communication-buffer residency of §5.2).
+  double buffer_high_water(const ParallelProgram& prog) const;
+
+  /// Render an ASCII Gantt chart (small programs; used by the paper
+  /// walkthrough example reproducing Fig. 11).
+  std::string gantt(const ParallelProgram& prog, int width = 72) const;
+
+ private:
+  friend SimulationResult simulate(const ParallelProgram&,
+                                   const MachineModel&);
+  std::vector<std::pair<double, double>> msg_residency_;  // arrival, consume
+  std::vector<int> msg_dest_proc_;
+  std::vector<double> msg_bytes_;
+};
+
+/// Run the program on the machine. Executes numeric closures in a
+/// deterministic dependency-respecting order. Throws CheckError if the
+/// program deadlocks (inconsistent program order vs. messages).
+SimulationResult simulate(const ParallelProgram& prog,
+                          const MachineModel& machine);
+
+}  // namespace sstar::sim

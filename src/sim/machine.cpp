@@ -1,0 +1,62 @@
+#include "sim/machine.hpp"
+
+#include "util/check.hpp"
+
+namespace sstar::sim {
+
+Grid default_grid(int p) {
+  SSTAR_CHECK(p >= 1);
+  // Largest p_r with p_r * 2 p_r <= p when p is 2 * 4^k; otherwise the
+  // closest factor pair with cols/rows ratio nearest 2.
+  Grid best{1, p};
+  double best_score = 1e300;
+  for (int r = 1; r * r <= 2 * p; ++r) {
+    if (p % r != 0) continue;
+    const int c = p / r;
+    if (c < r) break;
+    const double ratio = static_cast<double>(c) / r;
+    const double score = ratio >= 2.0 ? ratio - 2.0 : 2.0 * (2.0 - ratio);
+    if (score < best_score) {
+      best_score = score;
+      best = {r, c};
+    }
+  }
+  return best;
+}
+
+MachineModel MachineModel::cray_t3d(int p) {
+  MachineModel m;
+  m.name = "Cray-T3D";
+  m.processors = p;
+  m.grid = default_grid(p);
+  m.blas1_rate = 50e6;
+  m.blas2_rate = 85e6;
+  m.blas3_rate = 103e6;
+  m.latency = 2.7e-6;
+  m.bandwidth = 126e6;
+  m.task_overhead = 10e-6;
+  return m;
+}
+
+MachineModel MachineModel::cray_t3e(int p) {
+  MachineModel m;
+  m.name = "Cray-T3E";
+  m.processors = p;
+  m.grid = default_grid(p);
+  m.blas1_rate = 150e6;
+  m.blas2_rate = 255e6;
+  m.blas3_rate = 388e6;
+  m.latency = 1.0e-6;
+  m.bandwidth = 500e6;
+  m.task_overhead = 4e-6;
+  return m;
+}
+
+MachineModel MachineModel::with_grid(Grid g) const {
+  SSTAR_CHECK(g.size() == processors);
+  MachineModel m = *this;
+  m.grid = g;
+  return m;
+}
+
+}  // namespace sstar::sim

@@ -1,0 +1,66 @@
+// Machine models for the simulated distributed-memory substrate
+// (DESIGN.md substitution #1).
+//
+// The paper's experiments ran on Cray T3D and T3E; the constants below
+// are the paper's own measurements (§2 and §6): per-level BLAS rates for
+// block size 25, shmem_put latency and bandwidth. Virtual processors
+// execute real kernels while their clocks advance according to these
+// rates, so "parallel time" means what it means in the paper's analysis.
+#pragma once
+
+#include <string>
+
+namespace sstar::sim {
+
+/// A rectangular processor grid p = p_r x p_c. 1D codes use p_r = 1.
+struct Grid {
+  int rows = 1;
+  int cols = 1;
+  int size() const { return rows * cols; }
+};
+
+/// Choose the paper's preferred grid shape for p processors:
+/// p_c/p_r ~ 2 with both powers of two when possible (§5.2: "in practice
+/// we set p_c/p_r = 2").
+Grid default_grid(int p);
+
+struct MachineModel {
+  std::string name;
+  int processors = 1;
+  Grid grid;
+
+  // Compute rates in flops/second by BLAS level.
+  double blas1_rate = 60e6;
+  double blas2_rate = 85e6;
+  double blas3_rate = 103e6;
+
+  // Communication: time = latency + bytes / bandwidth.
+  double latency = 2.7e-6;      ///< seconds per message (put overhead)
+  double bandwidth = 126e6;     ///< bytes per second
+
+  /// Fixed per-task dispatch overhead (runtime-system bookkeeping,
+  /// index manipulation, buffer management). This is what supernode
+  /// amalgamation amortizes: the paper's 20-50% gains (Table 4) come
+  /// from fewer, larger tasks as much as from more BLAS-3.
+  double task_overhead = 10e-6;
+
+  /// Seconds to execute the given flop counts.
+  double compute_seconds(double f1, double f2, double f3) const {
+    return f1 / blas1_rate + f2 / blas2_rate + f3 / blas3_rate;
+  }
+  /// Seconds for a message of `bytes` to arrive after send.
+  double comm_seconds(double bytes) const {
+    return latency + bytes / bandwidth;
+  }
+
+  /// Cray T3D: DGEMM 103 MFLOPS, DGEMV 85 MFLOPS (BSIZE = 25),
+  /// shmem_put 126 MB/s at 2.7 us overhead.
+  static MachineModel cray_t3d(int p);
+  /// Cray T3E: DGEMM 388 MFLOPS, DGEMV 255 MFLOPS, 500 MB/s peak,
+  /// ~1 us round-trip-average latency.
+  static MachineModel cray_t3e(int p);
+  /// Same rates as cray_t3d/t3e but a 1 x p grid (for 1D codes).
+  MachineModel with_grid(Grid g) const;
+};
+
+}  // namespace sstar::sim

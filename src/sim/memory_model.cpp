@@ -1,0 +1,69 @@
+#include "sim/memory_model.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace sstar::sim {
+
+namespace {
+MemoryFootprint summarize(const std::vector<double>& per_proc) {
+  MemoryFootprint f;
+  for (const double b : per_proc) {
+    f.total_bytes += b;
+    f.max_bytes = std::max(f.max_bytes, b);
+  }
+  f.avg_bytes = per_proc.empty()
+                    ? 0.0
+                    : f.total_bytes / static_cast<double>(per_proc.size());
+  return f;
+}
+}  // namespace
+
+MemoryFootprint data_distribution_1d(const BlockLayout& layout, int p) {
+  SSTAR_CHECK(p >= 1);
+  std::vector<double> bytes(static_cast<std::size_t>(p), 0.0);
+  for (int k = 0; k < layout.num_blocks(); ++k) {
+    const double w = layout.width(k);
+    const double block_bytes =
+        8.0 * (w * w + w * static_cast<double>(layout.panel_rows(k).size()) +
+               w * static_cast<double>(layout.panel_cols(k).size()));
+    bytes[static_cast<std::size_t>(k % p)] += block_bytes;
+  }
+  return summarize(bytes);
+}
+
+MemoryFootprint data_distribution_2d(const BlockLayout& layout,
+                                     const Grid& grid) {
+  const int pr = grid.rows, pc = grid.cols;
+  SSTAR_CHECK(pr >= 1 && pc >= 1);
+  std::vector<double> bytes(static_cast<std::size_t>(pr) * pc, 0.0);
+  auto proc = [&](int r, int c) { return r * pc + c; };
+  for (int k = 0; k < layout.num_blocks(); ++k) {
+    const double w = layout.width(k);
+    bytes[proc(k % pr, k % pc)] += 8.0 * w * w;  // diagonal block
+    for (const BlockRef& lref : layout.l_blocks(k))
+      bytes[proc(lref.block % pr, k % pc)] += 8.0 * lref.count * w;
+    for (const BlockRef& uref : layout.u_blocks(k))
+      bytes[proc(k % pr, uref.block % pc)] += 8.0 * w * uref.count;
+  }
+  return summarize(bytes);
+}
+
+double buffer_bound_2d(const BlockLayout& layout, const Grid& grid) {
+  const int pr = grid.rows, pc = grid.cols;
+  // C = max over k of the local share of column block k on one
+  // processor row; R likewise for row panels on one processor column.
+  double c_buf = 0.0, r_buf = 0.0;
+  for (int k = 0; k < layout.num_blocks(); ++k) {
+    const double w = layout.width(k);
+    const double lrows = static_cast<double>(layout.panel_rows(k).size());
+    const double ucols = static_cast<double>(layout.panel_cols(k).size());
+    c_buf = std::max(c_buf, 8.0 * w * (w + lrows) / pr);
+    r_buf = std::max(r_buf, 8.0 * w * ucols / pc);
+  }
+  return c_buf * pc + r_buf * (pr - 1);
+}
+
+}  // namespace sstar::sim

@@ -1,0 +1,64 @@
+#include "solve/condest.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace sstar {
+
+namespace {
+double norm1(const std::vector<double>& v) {
+  double s = 0.0;
+  for (const double x : v) s += std::fabs(x);
+  return s;
+}
+}  // namespace
+
+ConditionEstimate estimate_condition(const Solver& solver,
+                                     const SparseMatrix& a,
+                                     int max_iterations) {
+  SSTAR_CHECK(solver.factorized());
+  SSTAR_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+  SSTAR_CHECK(n > 0);
+
+  ConditionEstimate est;
+  for (int j = 0; j < n; ++j) {
+    double colsum = 0.0;
+    for (int k = a.col_begin(j); k < a.col_end(j); ++k)
+      colsum += std::fabs(a.values()[k]);
+    est.a_norm1 = std::max(est.a_norm1, colsum);
+  }
+
+  // Hager's iteration: maximize ||A^{-1} x||_1 over the unit 1-norm
+  // ball, moving between the ball's smooth region (via the gradient
+  // sign(y) pushed through A^{-T}) and its vertices e_j.
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0 / n);
+  int last_j = -1;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    const std::vector<double> y = solver.solve(x);
+    ++est.solves;
+    est.inv_norm1 = std::max(est.inv_norm1, norm1(y));
+
+    std::vector<double> xi(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) xi[i] = y[i] >= 0.0 ? 1.0 : -1.0;
+    const std::vector<double> z = solver.solve_transpose(xi);
+    ++est.solves;
+
+    int j = 0;
+    for (int i = 1; i < n; ++i)
+      if (std::fabs(z[i]) > std::fabs(z[j])) j = i;
+    // Convergence: the new vertex would not improve on the current
+    // estimate, or the iteration revisits the same vertex.
+    double zx = 0.0;
+    for (int i = 0; i < n; ++i) zx += z[i] * x[i];
+    if (std::fabs(z[j]) <= zx || j == last_j) break;
+    last_j = j;
+    std::fill(x.begin(), x.end(), 0.0);
+    x[j] = 1.0;
+  }
+  est.condition = est.a_norm1 * est.inv_norm1;
+  return est;
+}
+
+}  // namespace sstar

@@ -1,0 +1,102 @@
+// Public entry point: the full S* pipeline behind one class.
+//
+//   SparseMatrix A = ...;
+//   Solver solver(A, SolverOptions{});   // transversal + ordering +
+//                                        // static symbolic + 2D L/U
+//                                        // partition + amalgamation
+//   solver.factorize();                  // sequential S* numeric phase
+//   std::vector<double> x = solver.solve(b);
+//
+// The parallel (simulated distributed-memory) drivers live in
+// core/lu_1d.hpp and core/lu_2d.hpp and consume the same preprocessing
+// through this class.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/numeric.hpp"
+#include "matrix/sparse.hpp"
+#include "supernode/block_layout.hpp"
+
+namespace sstar {
+
+/// Pipeline knobs. Defaults mirror the paper's choices.
+struct SolverOptions {
+  /// Maximum supernode width after splitting for cache/parallelism
+  /// ("BSIZE"; the paper uses 25 on both T3D and T3E).
+  int max_block = 25;
+  /// Supernode amalgamation factor r (§3.3; 4-6 reported best, 0 = off).
+  int amalgamation = 4;
+  /// Which §3.3 amalgamation variant: the paper's simple consecutive
+  /// merge (their choice) or the tree-guided merge they describe first.
+  enum class AmalgamationStyle { kConsecutive, kTreeGuided };
+  AmalgamationStyle amalgamation_style = AmalgamationStyle::kConsecutive;
+  /// Fill-reducing column ordering.
+  enum class Ordering { kMinDegreeAtA, kNestedDissection, kRcm, kNatural };
+  Ordering ordering = Ordering::kMinDegreeAtA;
+  /// Row permutation to a zero-free diagonal (Duff's transversal). Must
+  /// stay on unless the input already has a zero-free diagonal.
+  bool use_transversal = true;
+  /// Row/column equilibration (SuperLU-style): scale rows to unit
+  /// max-magnitude, then columns likewise, before pivoting. Improves
+  /// pivot choices on badly scaled systems; solves transparently undo it.
+  bool equilibrate = false;
+};
+
+/// Everything the symbolic phase produces (shared by the sequential and
+/// all parallel drivers).
+struct SolverSetup {
+  SparseMatrix permuted;        ///< A after equilibration, row transversal
+                                ///< and symmetric fill-reducing permutation
+  std::vector<int> row_perm;    ///< permuted row i holds original row
+                                ///< row_perm[i]
+  std::vector<int> col_perm;    ///< permuted col j holds original col
+                                ///< col_perm[j]
+  std::vector<double> row_scale;///< equilibration row scales (original
+                                ///< indexing; empty = none)
+  std::vector<double> col_scale;///< equilibration column scales
+  StaticStructure structure;    ///< static symbolic factorization
+  std::unique_ptr<BlockLayout> layout;  ///< 2D L/U supernode layout
+  /// Partition width before amalgamation (for reporting).
+  double presplit_avg_width = 0.0;
+};
+
+/// Run the symbolic pipeline only.
+SolverSetup prepare(const SparseMatrix& a, const SolverOptions& opt);
+
+class Solver {
+ public:
+  Solver(const SparseMatrix& a, SolverOptions opt = {});
+
+  /// Numeric factorization (sequential S*).
+  void factorize();
+  bool factorized() const { return factorized_; }
+
+  /// Solve A x = b in the ORIGINAL row/column numbering.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solve Aᵀ x = b in the ORIGINAL numbering (adjoint systems,
+  /// condition estimation).
+  std::vector<double> solve_transpose(const std::vector<double>& b) const;
+
+  /// Solve A X = B for nrhs right-hand sides (column-major n x nrhs),
+  /// amortizing the factor traversal with BLAS-3 kernels.
+  std::vector<double> solve_multi(const std::vector<double>& b,
+                                  int nrhs) const;
+
+  const SolverOptions& options() const { return opt_; }
+  const SolverSetup& setup() const { return setup_; }
+  const BlockLayout& layout() const { return *setup_.layout; }
+  const SStarNumeric& numeric() const { return numeric_; }
+  SStarNumeric& numeric() { return numeric_; }
+  const FactorStats& stats() const { return numeric_.stats(); }
+
+ private:
+  SolverOptions opt_;
+  SolverSetup setup_;
+  SStarNumeric numeric_;
+  bool factorized_ = false;
+};
+
+}  // namespace sstar

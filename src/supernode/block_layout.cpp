@@ -1,0 +1,123 @@
+#include "supernode/block_layout.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sstar {
+
+BlockLayout::BlockLayout(const StaticStructure& s, SupernodePartition part)
+    : n_(s.n), part_(std::move(part)) {
+  SSTAR_CHECK(part_.n() == n_);
+  const int nb = part_.count();
+  block_of_col_ = part_.block_of_column();
+  panel_rows_.resize(nb);
+  panel_cols_.resize(nb);
+  l_blocks_.resize(nb);
+  u_blocks_.resize(nb);
+  structure_entries_ = s.factor_entries();
+
+  std::vector<int> mark(static_cast<std::size_t>(n_), -1);
+
+  // Panel rows: union of L column structures across the supernode,
+  // restricted to rows below the diagonal block.
+  for (int b = 0; b < nb; ++b) {
+    const int lo = part_.start[b + 1];
+    auto& rows = panel_rows_[b];
+    for (int c = part_.start[b]; c < lo; ++c) {
+      for (std::int64_t k = s.l_col_ptr[c]; k < s.l_col_ptr[c + 1]; ++k) {
+        const int r = s.l_rows[k];
+        if (r < lo) continue;  // inside the dense diagonal triangle
+        if (mark[r] != b) {
+          mark[r] = b;
+          rows.push_back(r);
+        }
+      }
+    }
+    std::sort(rows.begin(), rows.end());
+  }
+
+  std::fill(mark.begin(), mark.end(), -1);
+  // Panel cols: union of U row structures across the supernode,
+  // restricted to columns right of the diagonal block.
+  for (int b = 0; b < nb; ++b) {
+    const int lo = part_.start[b + 1];
+    auto& cols = panel_cols_[b];
+    for (int r = part_.start[b]; r < lo; ++r) {
+      for (std::int64_t k = s.u_row_ptr[r]; k < s.u_row_ptr[r + 1]; ++k) {
+        const int c = s.u_cols[k];
+        if (c < lo) continue;
+        if (mark[c] != b) {
+          mark[c] = b;
+          cols.push_back(c);
+        }
+      }
+    }
+    std::sort(cols.begin(), cols.end());
+  }
+
+  // Derive the block sparsity: contiguous runs of panel entries falling
+  // into the same row/column block.
+  auto runs = [&](const std::vector<int>& panel,
+                  std::vector<BlockRef>& out) {
+    std::size_t i = 0;
+    while (i < panel.size()) {
+      const int blk = block_of_col_[panel[i]];
+      const int hi = part_.start[blk + 1];
+      std::size_t j = i;
+      while (j < panel.size() && panel[j] < hi) ++j;
+      out.push_back({blk, static_cast<int>(i), static_cast<int>(j - i)});
+      i = j;
+    }
+  };
+  for (int b = 0; b < nb; ++b) {
+    runs(panel_rows_[b], l_blocks_[b]);
+    runs(panel_cols_[b], u_blocks_[b]);
+  }
+}
+
+namespace {
+const BlockRef* find_ref(const std::vector<BlockRef>& v, int blk) {
+  const auto it = std::lower_bound(
+      v.begin(), v.end(), blk,
+      [](const BlockRef& a, int b) { return a.block < b; });
+  return it != v.end() && it->block == blk ? &*it : nullptr;
+}
+}  // namespace
+
+const BlockRef* BlockLayout::find_l_block(int i, int j) const {
+  SSTAR_CHECK(i > j);
+  return find_ref(l_blocks_[j], i);
+}
+
+const BlockRef* BlockLayout::find_u_block(int i, int j) const {
+  SSTAR_CHECK(i < j);
+  return find_ref(u_blocks_[i], j);
+}
+
+int BlockLayout::panel_row_index(int j, int r) const {
+  const auto& rows = panel_rows_[j];
+  const auto it = std::lower_bound(rows.begin(), rows.end(), r);
+  return it != rows.end() && *it == r ? static_cast<int>(it - rows.begin())
+                                      : -1;
+}
+
+int BlockLayout::panel_col_index(int i, int c) const {
+  const auto& cols = panel_cols_[i];
+  const auto it = std::lower_bound(cols.begin(), cols.end(), c);
+  return it != cols.end() && *it == c ? static_cast<int>(it - cols.begin())
+                                      : -1;
+}
+
+std::int64_t BlockLayout::stored_entries() const {
+  std::int64_t total = 0;
+  for (int b = 0; b < num_blocks(); ++b) {
+    const std::int64_t w = width(b);
+    total += w * w;
+    total += static_cast<std::int64_t>(panel_rows_[b].size()) * w;
+    total += static_cast<std::int64_t>(panel_cols_[b].size()) * w;
+  }
+  return total;
+}
+
+}  // namespace sstar

@@ -1,0 +1,282 @@
+#include "supernode/partition.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sstar {
+
+std::vector<int> SupernodePartition::block_of_column() const {
+  std::vector<int> blk(static_cast<std::size_t>(n()));
+  for (int b = 0; b < count(); ++b)
+    for (int c = start[b]; c < start[b + 1]; ++c) blk[c] = b;
+  return blk;
+}
+
+double SupernodePartition::average_width() const {
+  return count() == 0 ? 0.0 : static_cast<double>(n()) / count();
+}
+
+namespace {
+
+// L structure of column c restricted to rows >= lo (sorted range).
+template <typename It>
+std::pair<It, It> tail_range(It begin, It end, int lo) {
+  return {std::lower_bound(begin, end, lo), end};
+}
+
+// Count of elements in sorted [b1,e1) symmetric-difference sorted [b2,e2).
+template <typename It>
+int symdiff_size(It b1, It e1, It b2, It e2) {
+  int d = 0;
+  while (b1 != e1 && b2 != e2) {
+    if (*b1 == *b2) {
+      ++b1;
+      ++b2;
+    } else if (*b1 < *b2) {
+      ++d;
+      ++b1;
+    } else {
+      ++d;
+      ++b2;
+    }
+  }
+  d += static_cast<int>((e1 - b1) + (e2 - b2));
+  return d;
+}
+
+}  // namespace
+
+SupernodePartition find_supernodes(const StaticStructure& s, int max_block) {
+  SSTAR_CHECK(max_block >= 1);
+  const int n = s.n;
+  SupernodePartition p;
+  p.start.push_back(0);
+  int width = 0;
+
+  auto lrows = [&](int c) {
+    return std::make_pair(s.l_rows.begin() + s.l_col_ptr[c],
+                          s.l_rows.begin() + s.l_col_ptr[c + 1]);
+  };
+  auto ucols = [&](int r) {
+    return std::make_pair(s.u_cols.begin() + s.u_row_ptr[r],
+                          s.u_cols.begin() + s.u_row_ptr[r + 1]);
+  };
+
+  for (int c = 0; c < n; ++c) {
+    ++width;
+    bool boundary = (c == n - 1) || (width >= max_block);
+    if (!boundary) {
+      // Column c+1 continues the supernode iff
+      //   Lrows(c) == {c+1} ∪ Lrows(c+1)  and  Ucols(c) \ {c} == Ucols(c+1).
+      auto [lb, le] = lrows(c);
+      auto [lb1, le1] = lrows(c + 1);
+      const bool l_ok = (le - lb) == (le1 - lb1) + 1 && lb != le &&
+                        *lb == c + 1 && std::equal(lb + 1, le, lb1);
+      auto [ub, ue] = ucols(c);
+      auto [ub1, ue1] = ucols(c + 1);
+      // ub points at the diagonal c; row c+1's list starts at c+1.
+      const bool u_ok =
+          (ue - ub) == (ue1 - ub1) + 1 && std::equal(ub + 1, ue, ub1);
+      boundary = !(l_ok && u_ok);
+    }
+    if (boundary) {
+      p.start.push_back(c + 1);
+      width = 0;
+    }
+  }
+  return p;
+}
+
+SupernodePartition amalgamate(const StaticStructure& s,
+                              const SupernodePartition& p, int r,
+                              int max_block) {
+  if (r <= 0) return p;
+  const int nb = p.count();
+  SupernodePartition out;
+  out.start.push_back(0);
+
+  int b = 0;
+  while (b < nb) {
+    int group_first = p.start[b];  // first column of the merged group
+    int group_end = p.start[b + 1];
+    int next = b + 1;
+    while (next < nb) {
+      const int cand_first = p.start[next];
+      const int cand_end = p.start[next + 1];
+      if (cand_end - group_first > max_block) break;
+
+      // Structures compared from the end of the candidate onward.
+      auto [l1b, l1e] =
+          tail_range(s.l_rows.begin() + s.l_col_ptr[group_first],
+                     s.l_rows.begin() + s.l_col_ptr[group_first + 1],
+                     cand_end);
+      auto [l2b, l2e] =
+          tail_range(s.l_rows.begin() + s.l_col_ptr[cand_first],
+                     s.l_rows.begin() + s.l_col_ptr[cand_first + 1],
+                     cand_end);
+      auto [u1b, u1e] =
+          tail_range(s.u_cols.begin() + s.u_row_ptr[group_first],
+                     s.u_cols.begin() + s.u_row_ptr[group_first + 1],
+                     cand_end);
+      auto [u2b, u2e] =
+          tail_range(s.u_cols.begin() + s.u_row_ptr[cand_first],
+                     s.u_cols.begin() + s.u_row_ptr[cand_first + 1],
+                     cand_end);
+      int diff = symdiff_size(l1b, l1e, l2b, l2e) +
+                 symdiff_size(u1b, u1e, u2b, u2e);
+
+      // Padding inside the would-be dense triangle: rows/cols of the
+      // candidate range missing from the group-leader structure.
+      const int budget = r * (cand_end - cand_first);
+      {
+        auto lb = s.l_rows.begin() + s.l_col_ptr[group_first];
+        auto le = s.l_rows.begin() + s.l_col_ptr[group_first + 1];
+        auto ub = s.u_cols.begin() + s.u_row_ptr[group_first];
+        auto ue = s.u_cols.begin() + s.u_row_ptr[group_first + 1];
+        for (int x = cand_first; x < cand_end && diff <= budget; ++x) {
+          if (!std::binary_search(lb, le, x)) ++diff;
+          if (!std::binary_search(ub, ue, x)) ++diff;
+        }
+      }
+      // The allowance scales with the absorbed width: r extra entries
+      // per merged column, the granularity/padding dial of §3.3.
+      if (diff > budget) break;
+      group_end = cand_end;
+      ++next;
+    }
+    out.start.push_back(group_end);
+    b = next;
+  }
+  SSTAR_CHECK(out.start.back() == p.n());
+  return out;
+}
+
+
+namespace {
+
+// Sorted-union into `out` of values >= lo from two sorted ranges.
+void union_tail(const std::vector<int>& a, const std::vector<int>& b, int lo,
+                std::vector<int>& out) {
+  out.clear();
+  auto ia = std::lower_bound(a.begin(), a.end(), lo);
+  auto ib = std::lower_bound(b.begin(), b.end(), lo);
+  while (ia != a.end() || ib != b.end()) {
+    int v;
+    if (ib == b.end() || (ia != a.end() && *ia <= *ib)) {
+      v = *ia;
+      if (ib != b.end() && *ib == v) ++ib;
+      ++ia;
+    } else {
+      v = *ib;
+      ++ib;
+    }
+    out.push_back(v);
+  }
+}
+
+}  // namespace
+
+SupernodePartition amalgamate_tree(const StaticStructure& s,
+                                   const SupernodePartition& p, int r,
+                                   int max_block) {
+  if (r <= 0) return p;
+  const int nb = p.count();
+  const int n = p.n();
+
+  // Per-column entry counts (prefix-summed) for exact padding math.
+  std::vector<std::int64_t> prefix(static_cast<std::size_t>(n) + 1, 0);
+  for (int c = 0; c < n; ++c) {
+    prefix[c + 1] = prefix[c] + (s.l_col_ptr[c + 1] - s.l_col_ptr[c]) +
+                    (s.u_row_ptr[c + 1] - s.u_row_ptr[c]);
+  }
+
+  // Supernodal etree parent of each base supernode: the block holding
+  // the first below-block L row (minimum over the supernode's columns).
+  const std::vector<int> blk_of = p.block_of_column();
+  std::vector<int> parent(nb, -1);
+  for (int b = 0; b < nb; ++b) {
+    int minrow = n;
+    for (int c = p.start[b]; c < p.start[b + 1]; ++c) {
+      const auto lo = std::lower_bound(s.l_rows.begin() + s.l_col_ptr[c],
+                                       s.l_rows.begin() + s.l_col_ptr[c + 1],
+                                       p.start[b + 1]);
+      if (lo != s.l_rows.begin() + s.l_col_ptr[c + 1])
+        minrow = std::min(minrow, *lo);
+    }
+    if (minrow < n) parent[b] = blk_of[minrow];
+  }
+
+  SupernodePartition out;
+  out.start.push_back(0);
+
+  auto lrows_tail = [&](int col, int lo) {
+    return std::pair(std::lower_bound(s.l_rows.begin() + s.l_col_ptr[col],
+                                      s.l_rows.begin() + s.l_col_ptr[col + 1],
+                                      lo),
+                     s.l_rows.begin() + s.l_col_ptr[col + 1]);
+  };
+  auto ucols_tail = [&](int row, int lo) {
+    return std::pair(std::lower_bound(s.u_cols.begin() + s.u_row_ptr[row],
+                                      s.u_cols.begin() + s.u_row_ptr[row + 1],
+                                      lo),
+                     s.u_cols.begin() + s.u_row_ptr[row + 1]);
+  };
+
+  int b = 0;
+  std::vector<int> lu, uu, lu2, uu2, scratch;
+  while (b < nb) {
+    int group_first_col = p.start[b];
+    int group_end_col = p.start[b + 1];
+    int last_block = b;
+    // Seed unions from the group's first column (base supernodes have
+    // identical per-column structures).
+    {
+      auto [lb, le] = lrows_tail(group_first_col, group_end_col);
+      lu.assign(lb, le);
+      auto [ub, ue] = ucols_tail(group_first_col, group_end_col);
+      uu.assign(ub, ue);
+    }
+
+    int next = b + 1;
+    while (next < nb) {
+      // Tree rule: only absorb the immediate successor if it is the
+      // parent of the group's last block.
+      if (parent[last_block] != next) break;
+      const int cand_end = p.start[next + 1];
+      const int merged_w = cand_end - group_first_col;
+      if (merged_w > max_block) break;
+
+      // Candidate structures (identical across its columns).
+      scratch.assign(lrows_tail(p.start[next], cand_end).first,
+                     lrows_tail(p.start[next], cand_end).second);
+      // Re-trim the group's unions to >= cand_end and merge.
+      union_tail(lu, scratch, cand_end, lu2);
+      scratch.assign(ucols_tail(p.start[next], cand_end).first,
+                     ucols_tail(p.start[next], cand_end).second);
+      union_tail(uu, scratch, cand_end, uu2);
+
+      const std::int64_t stored =
+          static_cast<std::int64_t>(merged_w) * merged_w +
+          static_cast<std::int64_t>(merged_w) *
+              (static_cast<std::int64_t>(lu2.size()) +
+               static_cast<std::int64_t>(uu2.size()));
+      const std::int64_t actual =
+          prefix[cand_end] - prefix[group_first_col];
+      const std::int64_t extra = stored - actual;
+      if (extra > static_cast<std::int64_t>(r) * merged_w) break;
+
+      group_end_col = cand_end;
+      last_block = next;
+      lu.swap(lu2);
+      uu.swap(uu2);
+      ++next;
+    }
+    out.start.push_back(group_end_col);
+    b = next;
+  }
+  SSTAR_CHECK(out.start.back() == n);
+  return out;
+}
+
+}  // namespace sstar

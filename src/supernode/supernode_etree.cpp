@@ -1,0 +1,58 @@
+#include "supernode/supernode_etree.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sstar {
+
+SupernodeEtree supernode_etree(const BlockLayout& layout) {
+  const int nb = layout.num_blocks();
+  SupernodeEtree t;
+  t.parent.assign(nb, -1);
+  t.children.resize(nb);
+  for (int b = 0; b < nb; ++b) {
+    const auto& rows = layout.panel_rows(b);
+    if (!rows.empty()) {
+      t.parent[b] = layout.block_of_column(rows.front());
+      SSTAR_CHECK(t.parent[b] > b);
+      t.children[t.parent[b]].push_back(b);
+    }
+  }
+
+  // Height and leaves via a downward pass (parents have larger ids, so
+  // process descending).
+  std::vector<int> depth(nb, 0);
+  t.height = nb == 0 ? -1 : 0;
+  for (int b = nb - 1; b >= 0; --b) {
+    if (t.parent[b] != -1) depth[b] = depth[t.parent[b]] + 1;
+    t.height = std::max(t.height, depth[b]);
+    if (t.children[b].empty()) ++t.leaves;
+  }
+  return t;
+}
+
+double tree_parallelism(const BlockLayout& layout, const SupernodeEtree& t) {
+  const int nb = layout.num_blocks();
+  if (nb == 0) return 0.0;
+  auto work = [&](int b) {
+    const double w = layout.width(b);
+    return w * (w + static_cast<double>(layout.panel_rows(b).size()) +
+                static_cast<double>(layout.panel_cols(b).size()));
+  };
+  // Heaviest leaf-to-root path; parents have larger indices, so one
+  // ascending pass suffices.
+  std::vector<double> path(nb, 0.0);
+  double total = 0.0;
+  double heaviest = 0.0;
+  for (int b = 0; b < nb; ++b) {
+    double best_child = 0.0;
+    for (const int c : t.children[b]) best_child = std::max(best_child, path[c]);
+    path[b] = best_child + work(b);
+    total += work(b);
+    heaviest = std::max(heaviest, path[b]);
+  }
+  return heaviest > 0.0 ? total / heaviest : 1.0;
+}
+
+}  // namespace sstar

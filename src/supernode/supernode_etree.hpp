@@ -1,0 +1,41 @@
+// Supernodal elimination tree over the static structure.
+//
+// §3.3 of the paper: "The amalgamation is usually guided by a supernode
+// elimination tree. A parent could be merged with its children if the
+// merging does not introduce too many extra zero entries." This module
+// builds that tree (parent of supernode b = the block containing the
+// first below-block row of b's L panel — the classic first-subdiagonal
+// rule lifted to blocks) and provides the tree statistics the
+// tree-guided amalgamation variant and the parallelism analysis use.
+#pragma once
+
+#include <vector>
+
+#include "supernode/block_layout.hpp"
+
+namespace sstar {
+
+struct SupernodeEtree {
+  /// parent[b] = parent supernode, -1 for roots.
+  std::vector<int> parent;
+  /// children lists (ascending).
+  std::vector<std::vector<int>> children;
+  /// Height of the tree (edges on the longest root path); 0 for a
+  /// single node, -1 for an empty tree.
+  int height = -1;
+  /// Number of leaves.
+  int leaves = 0;
+
+  int count() const { return static_cast<int>(parent.size()); }
+};
+
+/// Build the supernodal elimination tree from a block layout.
+SupernodeEtree supernode_etree(const BlockLayout& layout);
+
+/// A rough elimination-parallelism measure: total block work divided by
+/// the work along the heaviest root path (like the paper's use of
+/// elimination trees to expose available parallelism). Work per block is
+/// approximated by its stored entries.
+double tree_parallelism(const BlockLayout& layout, const SupernodeEtree& t);
+
+}  // namespace sstar

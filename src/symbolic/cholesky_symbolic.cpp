@@ -1,0 +1,18 @@
+#include "symbolic/cholesky_symbolic.hpp"
+
+#include "matrix/pattern_ops.hpp"
+#include "ordering/etree.hpp"
+
+namespace sstar {
+
+CholeskyBound cholesky_ata_bound(const SparseMatrix& a) {
+  const Pattern ata = ata_pattern(a);
+  const std::vector<int> parent = elimination_tree(ata);
+  const std::vector<std::int64_t> counts = cholesky_col_counts(ata, parent);
+  CholeskyBound b;
+  for (const std::int64_t c : counts) b.factor_nnz += c;
+  b.lu_bound = 2 * b.factor_nnz - a.cols();
+  return b;
+}
+
+}  // namespace sstar

@@ -1,0 +1,27 @@
+// Symbolic Cholesky of AᵀA — the looser classical upper bound on GEPP
+// fill (George & Ng), reported in Table 1 of the paper as the
+// "chol(AᵀA)" column against which the static scheme's tighter bound is
+// compared.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/sparse.hpp"
+
+namespace sstar {
+
+/// Fill statistics of the Cholesky factor Lc of AᵀA.
+struct CholeskyBound {
+  /// nnz(Lc), diagonal included.
+  std::int64_t factor_nnz = 0;
+  /// The GEPP bound derived from Lc: both L and U of PA = LU fit inside
+  /// Lc's structure and its transpose, so the bound on total factor
+  /// entries is 2*nnz(Lc) - n.
+  std::int64_t lu_bound = 0;
+};
+
+/// Compute the bound for A under its current column order (apply the
+/// fill-reducing permutation before calling).
+CholeskyBound cholesky_ata_bound(const SparseMatrix& a);
+
+}  // namespace sstar

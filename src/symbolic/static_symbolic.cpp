@@ -1,0 +1,162 @@
+#include "symbolic/static_symbolic.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace sstar {
+
+std::int64_t StaticStructure::factor_ops() const {
+  std::int64_t ops = 0;
+  for (int k = 0; k < n; ++k) {
+    const std::int64_t lk = l_col_ptr[k + 1] - l_col_ptr[k];
+    const std::int64_t uk = u_row_ptr[k + 1] - u_row_ptr[k];  // incl diag
+    ops += lk + 2 * lk * (uk - 1);
+  }
+  return ops;
+}
+
+namespace {
+
+/// A group of rows sharing one structure (see header). Dead groups have
+/// been merged into a successor.
+struct RowGroup {
+  std::vector<int> members;  // sorted original row ids, all >= next step
+  std::vector<int> cols;     // sorted column ids, all >= next step
+  bool dead = false;
+};
+
+}  // namespace
+
+StaticStructure static_symbolic_factorization(const SparseMatrix& a) {
+  SSTAR_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+  SSTAR_CHECK_MSG(a.zero_diagonal_count() == 0,
+                  "static symbolic factorization requires a zero-free "
+                  "diagonal; run max_transversal first");
+
+  // Row structures of A: build from Aᵀ (columns of Aᵀ are rows of A).
+  const SparseMatrix at = a.transpose();
+
+  std::vector<RowGroup> groups;
+  groups.reserve(static_cast<std::size_t>(n) * 2);
+  // registry[j] = ids of groups that had column j in their structure when
+  // they were created (stale entries are skipped via the dead flag).
+  std::vector<std::vector<int>> registry(static_cast<std::size_t>(n));
+
+  for (int i = 0; i < n; ++i) {
+    RowGroup g;
+    g.members = {i};
+    g.cols.assign(at.row_idx().begin() + at.col_begin(i),
+                  at.row_idx().begin() + at.col_end(i));
+    const int id = static_cast<int>(groups.size());
+    for (int c : g.cols) registry[c].push_back(id);
+    groups.push_back(std::move(g));
+  }
+
+  StaticStructure s;
+  s.n = n;
+  s.l_col_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  s.u_row_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  std::vector<int> mark(static_cast<std::size_t>(n), -1);
+  std::vector<int> cand;          // candidate group ids this step
+  std::vector<int> union_cols;    // merged structure
+  std::vector<int> union_members; // merged member rows
+
+  for (int k = 0; k < n; ++k) {
+    // Gather candidate groups: live groups registered under column k.
+    cand.clear();
+    for (int id : registry[k]) {
+      if (!groups[id].dead) cand.push_back(id);
+    }
+    registry[k].clear();
+    registry[k].shrink_to_fit();
+    std::sort(cand.begin(), cand.end());
+    cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+    SSTAR_CHECK_MSG(!cand.empty(), "no candidate rows at step " << k
+                                       << " (diagonal lost?)");
+
+    // Union the structures (columns >= k) and collect members.
+    union_cols.clear();
+    union_members.clear();
+    for (int id : cand) {
+      RowGroup& g = groups[id];
+      for (int c : g.cols) {
+        SSTAR_DCHECK(c >= k);
+        if (mark[c] != k) {
+          mark[c] = k;
+          union_cols.push_back(c);
+        }
+      }
+      union_members.insert(union_members.end(), g.members.begin(),
+                           g.members.end());
+    }
+    std::sort(union_cols.begin(), union_cols.end());
+    std::sort(union_members.begin(), union_members.end());
+    SSTAR_CHECK_MSG(!union_members.empty() && union_members.front() == k,
+                    "row " << k << " is not a candidate at its own step");
+    SSTAR_CHECK(union_cols.front() == k);
+
+    // Emit U row k = the union (diagonal first).
+    s.u_cols.insert(s.u_cols.end(), union_cols.begin(), union_cols.end());
+    s.u_row_ptr[k + 1] =
+        s.u_row_ptr[k] + static_cast<std::int64_t>(union_cols.size());
+
+    // Emit L column k = candidate rows below the diagonal.
+    s.l_rows.insert(s.l_rows.end(), union_members.begin() + 1,
+                    union_members.end());
+    s.l_col_ptr[k + 1] =
+        s.l_col_ptr[k] + static_cast<std::int64_t>(union_members.size()) - 1;
+
+    // Retire row k, kill the old groups, and form the merged group.
+    for (int id : cand) {
+      groups[id].dead = true;
+      groups[id].members.clear();
+      groups[id].members.shrink_to_fit();
+      groups[id].cols.clear();
+      groups[id].cols.shrink_to_fit();
+    }
+    if (union_members.size() > 1) {
+      RowGroup g;
+      g.members.assign(union_members.begin() + 1, union_members.end());
+      g.cols.assign(union_cols.begin() + 1, union_cols.end());
+      const int id = static_cast<int>(groups.size());
+      for (int c : g.cols) registry[c].push_back(id);
+      groups.push_back(std::move(g));
+    }
+  }
+  return s;
+}
+
+bool structure_contains(const StaticStructure& s, const SparseMatrix& l,
+                        const SparseMatrix& u) {
+  const int n = s.n;
+  if (l.rows() != n || l.cols() != n || u.rows() != n || u.cols() != n)
+    return false;
+  // L check: every below-diagonal entry of l must appear in s's L column.
+  for (int j = 0; j < n; ++j) {
+    const auto lb = s.l_rows.begin() + s.l_col_ptr[j];
+    const auto le = s.l_rows.begin() + s.l_col_ptr[j + 1];
+    for (int k = l.col_begin(j); k < l.col_end(j); ++k) {
+      const int i = l.row_idx()[k];
+      if (i <= j) continue;
+      if (!std::binary_search(lb, le, i)) return false;
+    }
+  }
+  // U check: every on/above-diagonal entry of u must be in s's U rows.
+  // u is CSC; scan columns and test per row using binary search into the
+  // row-major structure.
+  for (int j = 0; j < n; ++j) {
+    for (int k = u.col_begin(j); k < u.col_end(j); ++k) {
+      const int i = u.row_idx()[k];
+      if (i > j) continue;
+      const auto ub = s.u_cols.begin() + s.u_row_ptr[i];
+      const auto ue = s.u_cols.begin() + s.u_row_ptr[i + 1];
+      if (!std::binary_search(ub, ue, j)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sstar

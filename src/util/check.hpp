@@ -1,0 +1,52 @@
+// Lightweight runtime checking used across the library.
+//
+// SSTAR_CHECK is always on (it guards algorithmic invariants whose failure
+// would silently corrupt a factorization); SSTAR_DCHECK compiles away in
+// release builds and is used in inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace sstar {
+
+/// Exception thrown when a library invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "SSTAR_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace sstar
+
+#define SSTAR_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::sstar::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+#define SSTAR_CHECK_MSG(expr, msg)                                     \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream os_;                                          \
+      os_ << msg;                                                      \
+      ::sstar::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                    os_.str());                        \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define SSTAR_DCHECK(expr) ((void)0)
+#else
+#define SSTAR_DCHECK(expr) SSTAR_CHECK(expr)
+#endif

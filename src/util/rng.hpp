@@ -1,0 +1,48 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// The library never uses std::rand or non-deterministic seeds: every
+// synthetic matrix and workload must be reproducible from a single seed so
+// that experiments are repeatable bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace sstar {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm),
+/// seeded via splitmix64. Small, fast, and good enough for workload
+/// generation (we do not need cryptographic quality).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller.
+  double normal();
+
+  /// Bernoulli trial with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace sstar

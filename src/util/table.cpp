@@ -1,0 +1,101 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sstar {
+
+namespace {
+const char* kSepSentinel = "\x01sep";
+}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  SSTAR_CHECK_MSG(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  SSTAR_CHECK_MSG(!header_.empty(), "set_header before add_row");
+  SSTAR_CHECK_MSG(row.size() <= header_.size(),
+                  "row has more cells than header");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_separator() { rows_.push_back({kSepSentinel}); }
+
+std::string TextTable::str() const {
+  const std::size_t ncol = header_.size();
+  std::vector<std::size_t> width(ncol, 0);
+  for (std::size_t c = 0; c < ncol; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSepSentinel) continue;
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  }
+
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  const std::string rule(total > 1 ? total - 1 : 1, '-');
+
+  std::ostringstream os;
+  os << title_ << "\n" << rule << "\n";
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < ncol; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << cell << std::string(width[c] - cell.size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  os << rule << "\n";
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSepSentinel) {
+      os << rule << "\n";
+    } else {
+      emit_row(row);
+    }
+  }
+  os << rule << "\n";
+  if (!footnote_.empty()) os << footnote_ << "\n";
+  return os.str();
+}
+
+void TextTable::print() const { std::fputs(str().c_str(), stdout); }
+
+std::string fmt_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_percent(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, 100.0 * v);
+  return buf;
+}
+
+std::string fmt_count(long long v) {
+  const bool neg = v < 0;
+  unsigned long long u =
+      neg ? ~static_cast<unsigned long long>(v) + 1ULL
+          : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(u);
+  std::string out;
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run == 3) {
+      out.push_back(',');
+      run = 0;
+    }
+    out.push_back(*it);
+    ++run;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sstar

@@ -1,0 +1,54 @@
+// Plain-text table formatting for the benchmark harnesses.
+//
+// Every bench binary reproduces one of the paper's tables/figures; this
+// printer renders them with the same row/column shape the paper reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sstar {
+
+/// Column-aligned text table with a title and optional footnote.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Append one data row; it may be shorter than the header (trailing
+  /// cells render empty).
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator between row groups.
+  void add_separator();
+
+  void set_footnote(std::string note) { footnote_ = std::move(note); }
+
+  /// Render the full table to a string.
+  std::string str() const;
+
+  /// Render to stdout.
+  void print() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::string footnote_;
+  std::vector<std::string> header_;
+  // A row with the single sentinel cell "\x01sep" renders as a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given precision, trimming to a compact form.
+std::string fmt_double(double v, int precision = 2);
+
+/// Format v as a percentage string like "23.4%".
+std::string fmt_percent(double v, int precision = 1);
+
+/// Format an integer with thousands separators: 1,234,567.
+std::string fmt_count(long long v);
+
+}  // namespace sstar

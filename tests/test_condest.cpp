@@ -1,0 +1,140 @@
+// Tests for the transpose solve and the 1-norm condition estimator,
+// plus a pruning regression harness for the GPLU baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/gplu.hpp"
+#include "solve/condest.hpp"
+#include "solve/solver.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sstar {
+namespace {
+
+TEST(TransposeSolve, MatchesExplicitTranspose) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto a = testing::random_sparse(60, 4, 7000 + seed);
+    Solver solver(a);
+    solver.factorize();
+    // Reference: factor Aᵀ independently.
+    Solver tsolver(a.transpose());
+    tsolver.factorize();
+    const auto b = testing::random_vector(60, seed);
+    const auto x1 = solver.solve_transpose(b);
+    const auto x2 = tsolver.solve(b);
+    EXPECT_LT(testing::max_abs_diff(x1, x2), 1e-6) << "seed " << seed;
+    // And the residual identity Aᵀ x = b.
+    const auto atx = a.transpose().multiply(x1);
+    EXPECT_LT(testing::max_abs_diff(atx, b), 1e-8) << "seed " << seed;
+  }
+}
+
+TEST(TransposeSolve, WorksWithPivotingAndBlocks) {
+  // Heavier pivoting pressure + multi-column supernodes.
+  const auto a = testing::random_sparse(90, 5, 71, /*weak=*/0.4);
+  SolverOptions opt;
+  opt.max_block = 10;
+  Solver solver(a, opt);
+  solver.factorize();
+  ASSERT_GT(solver.stats().off_diagonal_pivots, 0);
+  const auto want = testing::random_vector(90, 2);
+  const auto b = a.transpose().multiply(want);
+  const auto got = solver.solve_transpose(b);
+  EXPECT_LT(testing::max_abs_diff(got, want), 1e-6);
+}
+
+TEST(TransposeSolve, RequiresFactorization) {
+  Solver solver(testing::random_sparse(10, 2, 3));
+  EXPECT_THROW(solver.solve_transpose(std::vector<double>(10, 1.0)),
+               CheckError);
+}
+
+TEST(Condest, ExactForDiagonalMatrix) {
+  // diag(1, 2, ..., n): ||A||_1 = n, ||A^{-1}||_1 = 1, cond = n.
+  const int n = 10;
+  std::vector<Triplet> t;
+  for (int i = 0; i < n; ++i) t.push_back({i, i, static_cast<double>(i + 1)});
+  const auto a = SparseMatrix::from_triplets(n, n, std::move(t));
+  Solver solver(a);
+  solver.factorize();
+  const auto est = estimate_condition(solver, a);
+  EXPECT_DOUBLE_EQ(est.a_norm1, n);
+  EXPECT_NEAR(est.inv_norm1, 1.0, 1e-12);
+  EXPECT_NEAR(est.condition, n, 1e-9);
+}
+
+TEST(Condest, LowerBoundsTrueConditionAndIsTight) {
+  // Compare against the exact 1-norm of A^{-1} computed column by
+  // column (small n).
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const int n = 30;
+    const auto a = testing::random_sparse(n, 4, 8000 + seed);
+    Solver solver(a);
+    solver.factorize();
+    double exact = 0.0;
+    for (int j = 0; j < n; ++j) {
+      std::vector<double> e(n, 0.0);
+      e[j] = 1.0;
+      const auto col = solver.solve(e);
+      double s = 0.0;
+      for (const double v : col) s += std::fabs(v);
+      exact = std::max(exact, s);
+    }
+    const auto est = estimate_condition(solver, a);
+    EXPECT_LE(est.inv_norm1, exact * (1.0 + 1e-10)) << "seed " << seed;
+    EXPECT_GE(est.inv_norm1, 0.3 * exact)
+        << "seed " << seed << ": estimator unusually loose";
+    EXPECT_LE(est.solves, 12);
+  }
+}
+
+TEST(Condest, FlagsIllConditionedMatrix) {
+  // Unit-diagonal bidiagonal with superdiagonal 2: the inverse's last
+  // column holds (-2)^k, so cond_1 grows like 2^n.
+  const int n = 30;
+  std::vector<Triplet> t;
+  for (int i = 0; i < n; ++i) {
+    t.push_back({i, i, 1.0});
+    if (i + 1 < n) t.push_back({i, i + 1, 2.0});
+  }
+  const auto a = SparseMatrix::from_triplets(n, n, std::move(t));
+  Solver solver(a);
+  solver.factorize();
+  const auto est = estimate_condition(solver, a);
+  EXPECT_GT(est.condition, 1e6);
+}
+
+TEST(GpluPruning, ManyRefactorizationsStayCorrect) {
+  // Pruning must never change results: hammer GPLU on matrices designed
+  // to trigger both pruning and exact numerical cancellation (integer
+  // values make cancellations exact).
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const int n = 40;
+    Rng rng(seed * 31 + 7);
+    std::vector<Triplet> t;
+    for (int j = 0; j < n; ++j) {
+      t.push_back({j, j, static_cast<double>(rng.uniform_int(1, 3))});
+      for (int e = 0; e < 4; ++e) {
+        const int i = rng.uniform_int(0, n - 1);
+        if (i != j)
+          t.push_back({i, j, static_cast<double>(rng.uniform_int(-2, 2))});
+      }
+    }
+    const auto a = SparseMatrix::from_triplets(n, n, std::move(t));
+    baseline::GpluResult f;
+    try {
+      f = baseline::gplu_factor(a);
+    } catch (const CheckError&) {
+      continue;  // integer matrices can be exactly singular
+    }
+    const auto want = testing::random_vector(n, seed);
+    const auto got = f.solve(a.multiply(want));
+    EXPECT_LT(testing::max_abs_diff(got, want), 1e-8) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sstar

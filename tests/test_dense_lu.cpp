@@ -1,0 +1,83 @@
+// Tests for the dense LU oracle (it anchors every other correctness
+// test, so it gets its own scrutiny).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/dense_lu.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sstar::baseline {
+namespace {
+
+TEST(DenseLu, FactorsKnownMatrix) {
+  // [[2, 1], [6, 4]]: pivot swaps rows, L = [[1,0],[1/3,1]] on PA.
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2;
+  a(0, 1) = 1;
+  a(1, 0) = 6;
+  a(1, 1) = 4;
+  const auto f = dense_lu_factor(a);
+  EXPECT_EQ(f.pivot_swaps, 1);
+  EXPECT_EQ(f.perm[0], 1);  // original row 0 ends at position 1
+  EXPECT_EQ(f.perm[1], 0);
+  const auto x = f.solve({4.0, 14.0});  // solution {1, 2}
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(DenseLu, PaEqualsLuOnRandomMatrices) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto a = testing::random_sparse(25, 5, 5000 + seed);
+    const auto f = dense_lu_factor(a);
+    EXPECT_LT(factorization_residual(a, f.perm, f.l_factor(), f.u_factor()),
+              1e-12)
+        << "seed " << seed;
+  }
+}
+
+TEST(DenseLu, MultipliersBounded) {
+  const auto a = testing::random_sparse(30, 6, 9, 0.5);
+  const auto f = dense_lu_factor(a);
+  const auto l = f.l_factor();
+  for (int j = 0; j < 30; ++j)
+    for (int i = j + 1; i < 30; ++i)
+      EXPECT_LE(std::fabs(l(i, j)), 1.0 + 1e-12);
+}
+
+TEST(DenseLu, DetectsExactSingularity) {
+  DenseMatrix a(3, 3);
+  // Rank 2 via an exactly duplicated row, so the elimination cancels
+  // exactly in floating point (a row-sum construction would survive on
+  // rounding noise).
+  const double rows[3][3] = {{1, 2, 3}, {4, 5, 6}, {1, 2, 3}};
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) a(i, j) = rows[i][j];
+  EXPECT_THROW(dense_lu_factor(a), CheckError);
+}
+
+TEST(DenseLu, IdentityNeedsNoWork) {
+  const auto f = dense_lu_factor(SparseMatrix::identity(7));
+  EXPECT_EQ(f.pivot_swaps, 0);
+  const auto b = testing::random_vector(7, 3);
+  EXPECT_LT(testing::max_abs_diff(f.solve(b), b), 1e-15);
+}
+
+TEST(DenseLu, SolveInverseConsistency) {
+  // A * (A^{-1} e_i) == e_i for a handful of unit vectors.
+  const auto a = testing::random_sparse(20, 5, 77);
+  const auto f = dense_lu_factor(a);
+  for (int i = 0; i < 5; ++i) {
+    std::vector<double> e(20, 0.0);
+    e[i] = 1.0;
+    const auto x = f.solve(e);
+    const auto ax = a.multiply(x);
+    for (int r = 0; r < 20; ++r)
+      EXPECT_NEAR(ax[r], r == i ? 1.0 : 0.0, 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace sstar::baseline

@@ -1,0 +1,171 @@
+// Property tests for the synthetic matrix generators: structural
+// guarantees every downstream phase relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrix/generators.hpp"
+#include "matrix/pattern_ops.hpp"
+#include "matrix/suite.hpp"
+
+namespace sstar::gen {
+namespace {
+
+ValueOptions vo(std::uint64_t seed) {
+  ValueOptions v;
+  v.seed = seed;
+  return v;
+}
+
+void expect_full_diagonal(const SparseMatrix& a) {
+  EXPECT_EQ(a.zero_diagonal_count(), 0);
+}
+
+TEST(Generators, Stencil5ShapeAndCounts) {
+  const auto a = stencil5(7, 5, 0.0, vo(1));
+  EXPECT_EQ(a.rows(), 35);
+  expect_full_diagonal(a);
+  // Exact 5-point count: n + 2*((nx-1)*ny + nx*(ny-1)).
+  EXPECT_EQ(a.nnz(), 35 + 2 * (6 * 5 + 7 * 4));
+  EXPECT_DOUBLE_EQ(structural_symmetry(a), 1.0);
+}
+
+TEST(Generators, Stencil5DropLowersSymmetry) {
+  const auto full = stencil5(20, 20, 0.0, vo(2));
+  const auto dropped = stencil5(20, 20, 0.35, vo(2));
+  EXPECT_LT(dropped.nnz(), full.nnz());
+  EXPECT_LT(structural_symmetry(dropped), 0.9);
+  expect_full_diagonal(dropped);
+}
+
+TEST(Generators, Stencil7Count) {
+  const auto a = stencil7_3d(4, 3, 5, 0.0, vo(3));
+  EXPECT_EQ(a.rows(), 60);
+  EXPECT_EQ(a.nnz(), 60 + 2 * (3 * 3 * 5 + 4 * 2 * 5 + 4 * 3 * 4));
+  expect_full_diagonal(a);
+}
+
+TEST(Generators, Fem2dDofCoupling) {
+  const auto a = fem2d(4, 4, 3, 0.0, vo(4));
+  EXPECT_EQ(a.rows(), 48);
+  expect_full_diagonal(a);
+  // Interior vertex row: 9 neighbor vertices x 3 dofs = 27 entries.
+  // Vertex (1,1) has all 9 neighbors.
+  const int row = (1 + 4 * 1) * 3;  // first dof of vertex (1,1)
+  int count = 0;
+  for (int j = 0; j < a.cols(); ++j)
+    if (a.has_entry(row, j)) ++count;
+  EXPECT_EQ(count, 27);
+  EXPECT_DOUBLE_EQ(structural_symmetry(a), 1.0);
+}
+
+TEST(Generators, Fem3dDensity) {
+  const auto a = fem3d(4, 4, 4, 2, 0.0, vo(5));
+  EXPECT_EQ(a.rows(), 128);
+  expect_full_diagonal(a);
+  // Interior vertex: 27 neighbors x 2 dofs = 54 per row.
+  const double per_row = static_cast<double>(a.nnz()) / a.rows();
+  EXPECT_GT(per_row, 25.0);
+  EXPECT_LT(per_row, 54.1);
+}
+
+TEST(Generators, CircuitDegreeAndSymmetryKnobs) {
+  const auto sym = circuit(500, 3.0, 1.0, vo(6));
+  const auto unsym = circuit(500, 3.0, 0.0, vo(6));
+  expect_full_diagonal(sym);
+  expect_full_diagonal(unsym);
+  EXPECT_GT(structural_symmetry(sym), 0.95);
+  EXPECT_LT(structural_symmetry(unsym), 0.3);
+  // Density ~ n * (1 + avg * (1 + bias)) modulo duplicate merging.
+  EXPECT_GT(sym.nnz(), unsym.nnz());
+}
+
+TEST(Generators, UnsymBandStaysInBand) {
+  const int n = 100, lo = 7, hi = 2;
+  const auto a = unsym_band(n, lo, hi, 1.0, 0.0, vo(7));
+  expect_full_diagonal(a);
+  for (int j = 0; j < n; ++j) {
+    for (int k = a.col_begin(j); k < a.col_end(j); ++k) {
+      const int i = a.row_idx()[k];
+      EXPECT_LE(i - j, lo);
+      EXPECT_LE(j - i, hi);
+    }
+  }
+  EXPECT_LT(structural_symmetry(a), 0.5);
+}
+
+TEST(Generators, DirectionalStencilAsymmetry) {
+  const auto a = directional_stencil(12, 12, 2, 0, 3, -1, 1, 0.0, vo(8));
+  EXPECT_EQ(a.rows(), 288);
+  expect_full_diagonal(a);
+  EXPECT_LT(structural_symmetry(a), 0.45)
+      << "one-sided window must be strongly unsymmetric";
+}
+
+TEST(Generators, DenseRandomIsFullAndNonzero) {
+  const auto a = dense_random(20, 9);
+  EXPECT_EQ(a.nnz(), 400);
+  for (const double v : a.values()) EXPECT_NE(v, 0.0);
+}
+
+TEST(Generators, DeterministicInSeed) {
+  const auto a = fem2d(10, 10, 2, 0.2, vo(11));
+  const auto b = fem2d(10, 10, 2, 0.2, vo(11));
+  const auto c = fem2d(10, 10, 2, 0.2, vo(12));
+  ASSERT_TRUE(a.same_pattern(b));
+  for (std::size_t i = 0; i < a.values().size(); ++i)
+    EXPECT_EQ(a.values()[i], b.values()[i]);
+  EXPECT_FALSE(a.same_pattern(c) &&
+               std::equal(a.values().begin(), a.values().end(),
+                          c.values().begin()));
+}
+
+TEST(Generators, WeakDiagonalFractionControlsPivotPressure) {
+  ValueOptions none = vo(13);
+  none.weak_diag_fraction = 0.0;
+  ValueOptions heavy = vo(13);
+  heavy.weak_diag_fraction = 0.8;
+  const auto a = stencil5(15, 15, 0.0, none);
+  const auto b = stencil5(15, 15, 0.0, heavy);
+  // Count rows where |diag| is below the row's offdiag sum.
+  auto weak_rows = [](const SparseMatrix& m) {
+    const auto mt = m.transpose();
+    int weak = 0;
+    for (int i = 0; i < m.rows(); ++i) {
+      double diag = 0.0, sum = 0.0;
+      for (int k = mt.col_begin(i); k < mt.col_end(i); ++k) {
+        if (mt.row_idx()[k] == i)
+          diag = std::fabs(mt.values()[k]);
+        else
+          sum += std::fabs(mt.values()[k]);
+      }
+      if (diag < sum) ++weak;
+    }
+    return weak;
+  };
+  EXPECT_EQ(weak_rows(a), 0);
+  EXPECT_GT(weak_rows(b), 50);
+}
+
+class SuiteScaling : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SuiteScaling, DensityRoughlyPreservedAcrossScales) {
+  const auto& e = suite_entry(GetParam());
+  const auto small = e.generate(0.05, 3);
+  const auto mid = e.generate(0.15, 3);
+  const double d_small = static_cast<double>(small.nnz()) / small.rows();
+  const double d_mid = static_cast<double>(mid.nnz()) / mid.rows();
+  EXPECT_GT(mid.rows(), small.rows());
+  // nnz/row should not swing wildly with scale (boundary effects allow
+  // some drift; circuits have constant degree by construction).
+  EXPECT_LT(std::fabs(d_mid - d_small) / d_mid, 0.5)
+      << d_small << " vs " << d_mid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, SuiteScaling,
+                         ::testing::Values("sherman5", "goodwin", "ex11",
+                                           "vavasis3", "jpwh991",
+                                           "af23560"));
+
+}  // namespace
+}  // namespace sstar::gen

@@ -1,0 +1,124 @@
+// Tests for the Gilbert–Peierls baseline (the SuperLU comparator).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baseline/dense_lu.hpp"
+#include "baseline/gplu.hpp"
+#include "ordering/transversal.hpp"
+#include "symbolic/static_symbolic.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace sstar::baseline {
+namespace {
+
+TEST(Gplu, SolvesRandomSystems) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto a = testing::random_sparse(60, 4, 3000 + seed);
+    const auto f = gplu_factor(a);
+    const auto want = testing::random_vector(60, seed);
+    const auto got = f.solve(a.multiply(want));
+    EXPECT_LT(testing::max_abs_diff(got, want), 1e-7) << "seed " << seed;
+  }
+}
+
+TEST(Gplu, MatchesDenseOracle) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto a = testing::random_sparse(40, 4, 4000 + seed);
+    const auto f = gplu_factor(a);
+    const auto d = dense_lu_factor(a);
+    const auto b = testing::random_vector(40, seed ^ 0xa);
+    EXPECT_LT(testing::max_abs_diff(f.solve(b), d.solve(b)), 1e-7);
+  }
+}
+
+TEST(Gplu, PermIsAPermutation) {
+  const auto a = testing::random_sparse(50, 3, 5);
+  const auto f = gplu_factor(a);
+  std::vector<bool> seen(50, false);
+  for (const int p : f.perm) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 50);
+    EXPECT_FALSE(seen[p]);
+    seen[p] = true;
+  }
+}
+
+TEST(Gplu, PivotingFiresOnWeakDiagonals) {
+  const auto a = testing::random_sparse(80, 4, 9, /*weak=*/0.5);
+  const auto strict = gplu_factor(a, 1.0);
+  EXPECT_GT(strict.off_diagonal_pivots, 0);
+  // Multipliers bounded by 1 under strict partial pivoting.
+  for (const auto& col : strict.l_vals)
+    for (const double v : col) EXPECT_LE(std::fabs(v), 1.0 + 1e-12);
+}
+
+TEST(Gplu, ThresholdPrefersDiagonal) {
+  const auto a = testing::random_sparse(80, 4, 9, /*weak=*/0.3);
+  const auto strict = gplu_factor(a, 1.0);
+  const auto relaxed = gplu_factor(a, 0.01);
+  EXPECT_LE(relaxed.off_diagonal_pivots, strict.off_diagonal_pivots);
+  // Relaxed pivoting must still solve accurately on this well-behaved
+  // matrix.
+  const auto want = testing::random_vector(80, 4);
+  EXPECT_LT(testing::max_abs_diff(relaxed.solve(a.multiply(want)), want),
+            1e-5);
+}
+
+TEST(Gplu, FactorCountsConsistent) {
+  const auto a = testing::random_sparse(60, 4, 17);
+  const auto f = gplu_factor(a);
+  std::int64_t l = 0, u = 0;
+  for (const auto& col : f.l_rows) l += static_cast<std::int64_t>(col.size());
+  for (const auto& col : f.u_pos)
+    u += static_cast<std::int64_t>(col.size()) + 1;
+  EXPECT_EQ(f.l_nnz, l);
+  EXPECT_EQ(f.u_nnz, u);
+  EXPECT_GE(f.factor_entries(), a.nnz());  // factors contain A's pattern
+  EXPECT_GT(f.flops, 0);
+}
+
+TEST(Gplu, StaticStructureBoundsGpluFill) {
+  // Table 1's central comparison: the static structure has at least as
+  // many factor entries as GPLU produces (it bounds every pivot
+  // sequence, including GPLU's).
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto a = make_zero_free_diagonal(testing::random_sparse(50, 3, 600 + seed));
+    const auto s = static_symbolic_factorization(a);
+    const auto f = gplu_factor(a);
+    EXPECT_GE(s.factor_entries(), f.factor_entries()) << "seed " << seed;
+    EXPECT_GE(s.factor_ops(), f.flops) << "seed " << seed;
+  }
+}
+
+TEST(Gplu, SingularColumnThrows) {
+  // Column 1 becomes exactly zero after elimination.
+  const auto a = SparseMatrix::from_triplets(
+      3, 3, {{0, 0, 1.0}, {1, 0, 2.0}, {0, 1, 2.0}, {1, 1, 4.0},
+             {2, 2, 1.0}});
+  EXPECT_THROW(gplu_factor(a), CheckError);
+}
+
+TEST(Gplu, DenseColumnFillIn) {
+  // An arrowhead matrix pointing the wrong way fills in completely; the
+  // counts must reflect that.
+  const int n = 12;
+  std::vector<Triplet> t;
+  for (int i = 0; i < n; ++i) {
+    t.push_back({i, i, 4.0});
+    if (i > 0) {
+      t.push_back({i, 0, 1.0});
+      t.push_back({0, i, 1.0});
+    }
+  }
+  const auto a = SparseMatrix::from_triplets(n, n, std::move(t));
+  const auto f = gplu_factor(a);
+  // First column of L is full; U's last column is full.
+  EXPECT_EQ(static_cast<int>(f.l_rows[0].size()), n - 1);
+  const auto want = testing::random_vector(n, 2);
+  EXPECT_LT(testing::max_abs_diff(f.solve(a.multiply(want)), want), 1e-9);
+}
+
+}  // namespace
+}  // namespace sstar::baseline

@@ -1,0 +1,36 @@
+// Shared fixtures and utilities for the S* test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baseline/dense_lu.hpp"
+#include "matrix/sparse.hpp"
+
+namespace sstar::testing {
+
+/// A small random sparse nonsingular matrix with a zero-free diagonal,
+/// `extra` random off-diagonals per column, and a fraction of weak
+/// diagonal rows so partial pivoting is exercised.
+SparseMatrix random_sparse(int n, int extra_per_col, std::uint64_t seed,
+                           double weak_diag_fraction = 0.2);
+
+/// A small random dense-ish vector.
+std::vector<double> random_vector(int n, std::uint64_t seed);
+
+/// ||a - b||_inf.
+double max_abs_diff(const std::vector<double>& a,
+                    const std::vector<double>& b);
+
+/// Relative residual ||Ax - b||_inf / (||A||_max * ||x||_inf + ||b||_inf).
+double solve_residual(const SparseMatrix& a, const std::vector<double>& x,
+                      const std::vector<double>& b);
+
+/// The paper's Fig. 2 five-by-five example pattern (values filled with a
+/// simple nonsingular assignment).
+SparseMatrix paper_fig2_matrix();
+
+/// The paper's Fig. 4 seven-by-seven supernode-partition example.
+SparseMatrix paper_fig4_matrix();
+
+}  // namespace sstar::testing

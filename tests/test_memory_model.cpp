@@ -1,0 +1,64 @@
+// Tests for the per-processor memory footprint model (§5.2).
+#include <gtest/gtest.h>
+
+#include "ordering/transversal.hpp"
+#include "sim/memory_model.hpp"
+#include "supernode/partition.hpp"
+#include "symbolic/static_symbolic.hpp"
+#include "test_helpers.hpp"
+
+namespace sstar::sim {
+namespace {
+
+BlockLayout make_layout(int n, std::uint64_t seed) {
+  const auto a = make_zero_free_diagonal(testing::random_sparse(n, 4, seed));
+  const auto s = static_symbolic_factorization(a);
+  auto part = amalgamate(s, find_supernodes(s, 8), 4, 8);
+  return BlockLayout(s, std::move(part));
+}
+
+TEST(MemoryModel, TotalsMatchStoredEntries) {
+  const auto lay = make_layout(80, 1);
+  const double s1 = 8.0 * static_cast<double>(lay.stored_entries());
+  for (const int p : {1, 3, 8}) {
+    const auto d1 = data_distribution_1d(lay, p);
+    EXPECT_DOUBLE_EQ(d1.total_bytes, s1) << "p=" << p;
+    EXPECT_GE(d1.max_bytes, d1.avg_bytes);
+  }
+  for (const Grid g : {Grid{1, 4}, Grid{2, 4}, Grid{4, 4}}) {
+    const auto d2 = data_distribution_2d(lay, g);
+    EXPECT_DOUBLE_EQ(d2.total_bytes, s1);
+    EXPECT_GE(d2.max_bytes, d2.avg_bytes);
+    EXPECT_LE(d2.balance(), 1.0 + 1e-12);
+  }
+}
+
+TEST(MemoryModel, OneProcessorHoldsEverything) {
+  const auto lay = make_layout(60, 2);
+  const auto d1 = data_distribution_1d(lay, 1);
+  EXPECT_DOUBLE_EQ(d1.max_bytes, d1.total_bytes);
+  const auto d2 = data_distribution_2d(lay, {1, 1});
+  EXPECT_DOUBLE_EQ(d2.max_bytes, d2.total_bytes);
+}
+
+TEST(MemoryModel, TwoDDistributesAtLeastAsWellAsOneDAtScale) {
+  const auto lay = make_layout(150, 3);
+  const auto d1 = data_distribution_1d(lay, 16);
+  const auto d2 = data_distribution_2d(lay, {4, 4});
+  EXPECT_LE(d2.max_bytes, d1.max_bytes * 1.10)
+      << "2D mapping should not be meaningfully lumpier than 1D";
+}
+
+TEST(MemoryModel, BufferBoundPositiveAndGridSensitive) {
+  const auto lay = make_layout(100, 4);
+  const double b1 = buffer_bound_2d(lay, {2, 4});
+  const double b2 = buffer_bound_2d(lay, {4, 8});
+  EXPECT_GT(b1, 0.0);
+  EXPECT_GT(b2, 0.0);
+  // Column-panel share shrinks with more processor rows.
+  const double c1 = buffer_bound_2d(lay, {1, 2});
+  EXPECT_GT(c1, 0.0);
+}
+
+}  // namespace
+}  // namespace sstar::sim

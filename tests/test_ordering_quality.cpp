@@ -1,0 +1,114 @@
+// Ordering-quality regression tests: the fill-reducing orderings must
+// keep delivering their asymptotic promises as problems grow, not just
+// pass on one size. (A quietly broken minimum degree still produces
+// valid permutations — only scaling tests catch it.)
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "matrix/pattern_ops.hpp"
+#include "ordering/min_degree.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "ordering/etree.hpp"
+#include "ordering/rcm.hpp"
+#include "symbolic/cholesky_symbolic.hpp"
+
+namespace sstar {
+namespace {
+
+SparseMatrix grid2d(int nx) {
+  std::vector<Triplet> t;
+  auto idx = [&](int x, int y) { return x + nx * y; };
+  for (int y = 0; y < nx; ++y)
+    for (int x = 0; x < nx; ++x) {
+      t.push_back({idx(x, y), idx(x, y), 4.0});
+      if (x + 1 < nx) {
+        t.push_back({idx(x + 1, y), idx(x, y), -1.0});
+        t.push_back({idx(x, y), idx(x + 1, y), -1.0});
+      }
+      if (y + 1 < nx) {
+        t.push_back({idx(x, y + 1), idx(x, y), -1.0});
+        t.push_back({idx(x, y), idx(x, y + 1), -1.0});
+      }
+    }
+  return SparseMatrix::from_triplets(nx * nx, nx * nx, std::move(t));
+}
+
+std::int64_t fill_under(const SparseMatrix& a, const std::vector<int>& q) {
+  return cholesky_ata_bound(q.empty() ? a : a.permuted(q, q)).factor_nnz;
+}
+
+TEST(OrderingQuality, MinDegreeAdvantageWidensWithGridSize) {
+  // Natural order on an nx x nx grid fills Theta(nx^3) (band 2 nx on
+  // the AtA 13-point pattern); minimum degree stays near O(N log N), so
+  // the natural/MD fill ratio must GROW with nx — the asymptotic signal
+  // a quietly-degraded minimum degree loses first.
+  double prev_ratio = 0.0;
+  for (const int nx : {12, 16, 20, 26}) {
+    const auto a = grid2d(nx);
+    const auto md = min_degree_order(ata_pattern(a));
+    const double ratio = static_cast<double>(fill_under(a, {})) /
+                         static_cast<double>(fill_under(a, md));
+    EXPECT_GT(ratio, 1.2) << "grid " << nx;
+    EXPECT_GT(ratio, prev_ratio * 0.98)
+        << "advantage should widen with size (grid " << nx << ")";
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 1.55)
+      << "the 26x26 grid should show a clear advantage";
+}
+
+class GridSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridSizes, NestedDissectionCompetitiveWithMinDegree) {
+  const int nx = GetParam();
+  const auto a = grid2d(nx);
+  const auto md = min_degree_order(ata_pattern(a));
+  const auto nd = nested_dissection_order(ata_pattern(a));
+  const std::int64_t f_md = fill_under(a, md);
+  const std::int64_t f_nd = fill_under(a, nd);
+  EXPECT_LT(static_cast<double>(f_nd), 2.2 * static_cast<double>(f_md))
+      << "grid " << nx << "x" << nx;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GridSizes, ::testing::Values(12, 16, 20, 26));
+
+TEST(OrderingQuality, RcmBandwidthScalesWithGridSide) {
+  // RCM on an nx x nx grid should produce bandwidth O(nx), far below n.
+  for (const int nx : {12, 20}) {
+    const auto a = grid2d(nx);
+    const auto perm = rcm_order(aplusat_pattern(a));
+    const auto p = a.permuted(perm, perm);
+    int bw = 0;
+    for (int j = 0; j < p.cols(); ++j)
+      for (int k = p.col_begin(j); k < p.col_end(j); ++k)
+        bw = std::max(bw, std::abs(p.row_idx()[k] - j));
+    EXPECT_LE(bw, 3 * nx) << "grid " << nx;
+  }
+}
+
+TEST(OrderingQuality, MinDegreeMatchesKnownTridiagonalOptimum) {
+  // A tridiagonal matrix admits a no-fill elimination; minimum degree
+  // must find one (fill == nnz of the lower triangle).
+  const int n = 60;
+  std::vector<Triplet> t;
+  for (int i = 0; i < n; ++i) {
+    t.push_back({i, i, 2.0});
+    if (i + 1 < n) {
+      t.push_back({i + 1, i, -1.0});
+      t.push_back({i, i + 1, -1.0});
+    }
+  }
+  const auto a = SparseMatrix::from_triplets(n, n, std::move(t));
+  const auto md = min_degree_order(pattern_of(a));
+  // Symbolic Cholesky of the PERMUTED pattern itself (not AtA).
+  const auto pa = a.permuted(md, md);
+  const auto parent = elimination_tree(pattern_of(pa));
+  const auto counts = cholesky_col_counts(pattern_of(pa), parent);
+  std::int64_t fill = 0;
+  for (const auto c : counts) fill += c;
+  EXPECT_EQ(fill, 2 * n - 1) << "tridiagonal should factor with no fill";
+}
+
+}  // namespace
+}  // namespace sstar

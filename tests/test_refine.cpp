@@ -1,0 +1,77 @@
+// Tests for iterative refinement on top of the S* factorization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solve/refine.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sstar {
+namespace {
+
+TEST(Refine, ConvergesImmediatelyOnWellConditioned) {
+  const auto a = testing::random_sparse(60, 4, 5, /*weak=*/0.0);
+  Solver solver(a);
+  solver.factorize();
+  const auto want = testing::random_vector(60, 9);
+  const auto res = refined_solve(solver, a, a.multiply(want));
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 1);
+  EXPECT_LT(res.backward_error, 1e-14);
+  EXPECT_LT(testing::max_abs_diff(res.x, want), 1e-9);
+}
+
+TEST(Refine, ImprovesIllConditionedSolve) {
+  // Scale rows wildly to degrade the plain solve, then refine.
+  const int n = 50;
+  auto base = testing::random_sparse(n, 4, 21, 0.0);
+  std::vector<Triplet> t;
+  Rng rng(3);
+  std::vector<double> scale(n);
+  for (int i = 0; i < n; ++i)
+    scale[i] = std::pow(10.0, rng.uniform(-7.0, 7.0));
+  for (int j = 0; j < n; ++j)
+    for (int k = base.col_begin(j); k < base.col_end(j); ++k)
+      t.push_back({base.row_idx()[k], j,
+                   base.values()[k] * scale[base.row_idx()[k]]});
+  const auto a = SparseMatrix::from_triplets(n, n, std::move(t));
+
+  Solver solver(a);
+  solver.factorize();
+  const auto want = testing::random_vector(n, 11);
+  const auto b = a.multiply(want);
+
+  const auto plain = solver.solve(b);
+  RefineOptions opt;
+  const auto refined = refined_solve(solver, a, b, opt);
+  EXPECT_TRUE(refined.converged);
+  EXPECT_LE(refined.backward_error, 1e-14);
+  // Refinement never loses to the plain solve.
+  EXPECT_LE(testing::solve_residual(a, refined.x, b),
+            testing::solve_residual(a, plain, b) * 1.01);
+}
+
+TEST(Refine, ReportsFailureWhenCapped) {
+  const auto a = testing::random_sparse(40, 3, 7, 0.0);
+  Solver solver(a);
+  solver.factorize();
+  RefineOptions opt;
+  opt.max_iterations = 0;
+  opt.tolerance = 0.0;  // unreachable
+  const auto res =
+      refined_solve(solver, a, testing::random_vector(40, 1), opt);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(Refine, RequiresFactorizedSolver) {
+  const auto a = testing::random_sparse(10, 2, 3);
+  Solver solver(a);
+  EXPECT_THROW(refined_solve(solver, a, std::vector<double>(10, 1.0)),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace sstar

@@ -1,0 +1,175 @@
+// Tests for the 1D schedulers (compute-ahead and graph scheduling) and
+// the task cost model utilities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/task_graph.hpp"
+#include "core/task_model.hpp"
+#include "ordering/transversal.hpp"
+#include "sched/list_schedule.hpp"
+#include "supernode/partition.hpp"
+#include "symbolic/static_symbolic.hpp"
+#include "test_helpers.hpp"
+
+namespace sstar::sched {
+namespace {
+
+struct Fixture {
+  SparseMatrix a;
+  StaticStructure s;
+  std::unique_ptr<BlockLayout> layout;
+  std::unique_ptr<LuTaskGraph> graph;
+
+  static Fixture make(int n, std::uint64_t seed) {
+    Fixture f;
+    f.a = make_zero_free_diagonal(testing::random_sparse(n, 4, seed));
+    f.s = static_symbolic_factorization(f.a);
+    auto part = amalgamate(f.s, find_supernodes(f.s, 8), 4, 8);
+    f.layout = std::make_unique<BlockLayout>(f.s, std::move(part));
+    f.graph = std::make_unique<LuTaskGraph>(*f.layout);
+    return f;
+  }
+};
+
+void expect_valid_schedule(const LuTaskGraph& g, const Schedule1D& s,
+                           int procs) {
+  // Every task appears exactly once, on its owner's list.
+  std::vector<int> seen(g.num_tasks(), 0);
+  for (int p = 0; p < procs; ++p) {
+    for (const int t : s.proc_order[p]) {
+      ++seen[t];
+      EXPECT_EQ(s.block_owner[g.task(t).j], p)
+          << "task on a processor that does not own its block";
+    }
+  }
+  for (const int c : seen) EXPECT_EQ(c, 1);
+
+  // Per-processor order must be consistent with the DAG restricted to
+  // that processor (otherwise the simulator deadlocks).
+  std::vector<int> position(g.num_tasks(), -1);
+  for (int p = 0; p < procs; ++p)
+    for (std::size_t i = 0; i < s.proc_order[p].size(); ++i)
+      position[s.proc_order[p][i]] = static_cast<int>(i);
+  for (const auto& e : g.edges()) {
+    const int pf = s.block_owner[g.task(e.from).j];
+    const int pt = s.block_owner[g.task(e.to).j];
+    if (pf == pt) {
+      EXPECT_LT(position[e.from], position[e.to])
+          << "intra-processor order violates edge " << e.from << "->"
+          << e.to;
+    }
+  }
+}
+
+TEST(ComputeAhead, ValidForVariousProcCounts) {
+  const auto f = Fixture::make(80, 3);
+  for (const int p : {1, 2, 3, 7, 16}) {
+    const auto s = compute_ahead_schedule(*f.graph, p);
+    expect_valid_schedule(*f.graph, s, p);
+    // Cyclic ownership.
+    for (int b = 0; b < f.layout->num_blocks(); ++b)
+      EXPECT_EQ(s.block_owner[b], b % p);
+  }
+}
+
+TEST(ComputeAhead, FactorFollowsItsComputeAheadUpdate) {
+  // On the processor owning block k+1, Factor(k+1) must come right
+  // after Update(k, k+1) when that update exists (Fig. 10 lines 09-10).
+  const auto f = Fixture::make(100, 5);
+  const int procs = 4;
+  const auto s = compute_ahead_schedule(*f.graph, procs);
+  std::vector<int> position(f.graph->num_tasks(), -1);
+  for (int p = 0; p < procs; ++p)
+    for (std::size_t i = 0; i < s.proc_order[p].size(); ++i)
+      position[s.proc_order[p][i]] = static_cast<int>(i);
+  for (int k = 0; k + 1 < f.layout->num_blocks(); ++k) {
+    const int u = f.graph->update_task(k, k + 1);
+    if (u < 0) continue;
+    const int fk1 = f.graph->factor_task(k + 1);
+    EXPECT_EQ(position[fk1], position[u] + 1)
+        << "Factor(" << k + 1 << ") not immediately after Update(" << k
+        << "," << k + 1 << ")";
+  }
+}
+
+TEST(GraphSchedule, ValidAndCompleteAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto f = Fixture::make(70, 10 + seed);
+    for (const int p : {2, 5, 8}) {
+      const auto m = sim::MachineModel::cray_t3e(p).with_grid({1, p});
+      const auto s = graph_schedule(*f.graph, m);
+      expect_valid_schedule(*f.graph, s, p);
+    }
+  }
+}
+
+TEST(BottomLevels, DecreaseAlongEdgesAndIncludeCost) {
+  const auto f = Fixture::make(60, 21);
+  const auto m = sim::MachineModel::cray_t3d(4);
+  const auto costs = model_costs(*f.graph, m);
+  const auto bl = bottom_levels(*f.graph, costs, m);
+  for (int t = 0; t < f.graph->num_tasks(); ++t) {
+    EXPECT_GE(bl[t], costs.task_seconds[t]);
+    for (const int succ : f.graph->succs(t))
+      EXPECT_GE(bl[t], bl[succ] + costs.task_seconds[t] - 1e-15);
+  }
+  // Exit tasks: b-level equals own cost.
+  for (int t = 0; t < f.graph->num_tasks(); ++t) {
+    if (f.graph->succs(t).empty()) {
+      EXPECT_DOUBLE_EQ(bl[t], costs.task_seconds[t]);
+    }
+  }
+}
+
+TEST(ModelCosts, PositiveAndMachineScaled) {
+  const auto f = Fixture::make(60, 33);
+  const auto t3d = sim::MachineModel::cray_t3d(4);
+  const auto t3e = sim::MachineModel::cray_t3e(4);
+  const auto cd = model_costs(*f.graph, t3d);
+  const auto ce = model_costs(*f.graph, t3e);
+  for (int t = 0; t < f.graph->num_tasks(); ++t) {
+    EXPECT_GT(cd.task_seconds[t], 0.0);
+    // The T3E is faster at every BLAS level.
+    EXPECT_LT(ce.task_seconds[t], cd.task_seconds[t]);
+  }
+  for (int k = 0; k < f.layout->num_blocks(); ++k)
+    EXPECT_GT(cd.factor_bytes[k], 0.0);
+}
+
+TEST(TaskModel, Update2dSlicesSumToWholeUpdate) {
+  // The 2D decomposition must conserve flops: trsm slice + per-row-block
+  // gemm slices == update_task_flops.
+  const auto f = Fixture::make(80, 44);
+  const auto& lay = *f.layout;
+  for (int k = 0; k < lay.num_blocks(); ++k) {
+    for (const BlockRef& uref : lay.u_blocks(k)) {
+      const int j = uref.block;
+      auto whole = update_task_flops(lay, k, j);
+      blas::FlopCount sum = update2d_task_flops(lay, k, k, j);  // trsm
+      for (const BlockRef& lref : lay.l_blocks(k)) {
+        const auto part = update2d_task_flops(lay, k, lref.block, j);
+        sum += part;
+      }
+      EXPECT_EQ(sum.blas1, whole.blas1) << "k=" << k << " j=" << j;
+      EXPECT_EQ(sum.blas2, whole.blas2);
+      EXPECT_EQ(sum.blas3, whole.blas3);
+    }
+  }
+}
+
+TEST(TaskModel, MessageBytesScaleWithPartitionShares) {
+  const auto f = Fixture::make(80, 55);
+  const auto& lay = *f.layout;
+  for (int k = 0; k < lay.num_blocks(); ++k) {
+    const double full = column_block_bytes(lay, k);
+    EXPECT_GT(full, 0.0);
+    // More processor rows -> smaller per-row L multicast share.
+    EXPECT_GE(l_multicast_bytes(lay, k, 1), l_multicast_bytes(lay, k, 4));
+    EXPECT_GE(u_multicast_bytes(lay, k, 1), u_multicast_bytes(lay, k, 8));
+    EXPECT_DOUBLE_EQ(pivot_bytes(lay, k), 4.0 * lay.width(k));
+  }
+}
+
+}  // namespace
+}  // namespace sstar::sched

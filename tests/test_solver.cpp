@@ -1,0 +1,136 @@
+// End-to-end tests of the public Solver facade, including all ordering
+// options and the generated benchmark suite.
+#include <gtest/gtest.h>
+
+#include "matrix/generators.hpp"
+#include "matrix/pattern_ops.hpp"
+#include "matrix/suite.hpp"
+#include "solve/solver.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace sstar {
+namespace {
+
+void expect_solves(const SparseMatrix& a, SolverOptions opt,
+                   double tol = 1e-7) {
+  Solver solver(a, opt);
+  solver.factorize();
+  const auto want = testing::random_vector(a.rows(), 4242);
+  const auto b = a.multiply(want);
+  const auto got = solver.solve(b);
+  EXPECT_LT(testing::max_abs_diff(got, want), tol);
+  EXPECT_LT(testing::solve_residual(a, got, b), 1e-12);
+}
+
+TEST(Solver, SolvesWithEachOrdering) {
+  const auto a = testing::random_sparse(80, 4, 77);
+  for (const auto ord : {SolverOptions::Ordering::kMinDegreeAtA,
+                         SolverOptions::Ordering::kRcm,
+                         SolverOptions::Ordering::kNatural}) {
+    SolverOptions opt;
+    opt.ordering = ord;
+    expect_solves(a, opt);
+  }
+}
+
+TEST(Solver, SolvesShiftedDiagonalMatrix) {
+  // A matrix needing the transversal: cyclic shift plus noise.
+  const int n = 40;
+  std::vector<Triplet> t;
+  Rng rng(17);
+  for (int j = 0; j < n; ++j) {
+    t.push_back({(j + 1) % n, j, 3.0 + rng.uniform()});
+    t.push_back({(j + 7) % n, j, rng.uniform(-1.0, 1.0)});
+  }
+  expect_solves(SparseMatrix::from_triplets(n, n, std::move(t)),
+                SolverOptions{});
+}
+
+TEST(Solver, RejectsSolveBeforeFactorize) {
+  Solver solver(testing::random_sparse(10, 2, 3));
+  EXPECT_THROW(solver.solve(std::vector<double>(10, 1.0)), CheckError);
+}
+
+TEST(Solver, RejectsStructurallySingular) {
+  const auto a = SparseMatrix::from_triplets(
+      3, 3, {{0, 0, 1.0}, {1, 0, 1.0}, {0, 1, 1.0}, {1, 1, 1.0}});
+  EXPECT_THROW(Solver{a}, CheckError);
+}
+
+TEST(Solver, OrderingReducesFillOnStencil) {
+  gen::ValueOptions vo;
+  vo.seed = 5;
+  const auto a = gen::stencil5(16, 16, 0.0, vo);
+  SolverOptions natural;
+  natural.ordering = SolverOptions::Ordering::kNatural;
+  SolverOptions mindeg;
+  const auto s_nat = prepare(a, natural);
+  const auto s_md = prepare(a, mindeg);
+  EXPECT_LT(s_md.structure.factor_entries(),
+            s_nat.structure.factor_entries());
+}
+
+TEST(Solver, AmalgamationGrowsBlocksAndKeepsCorrectness) {
+  gen::ValueOptions vo;
+  vo.seed = 9;
+  const auto a = gen::fem2d(8, 8, 2, 0.0, vo);
+  SolverOptions r0;
+  r0.amalgamation = 0;
+  SolverOptions r6;
+  r6.amalgamation = 6;
+  const auto s0 = prepare(a, r0);
+  const auto s6 = prepare(a, r6);
+  EXPECT_LE(s6.layout->num_blocks(), s0.layout->num_blocks());
+  expect_solves(a, r6, 1e-6);
+}
+
+class SuiteSmoke : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SuiteSmoke, GeneratesAndSolvesAtTinyScale) {
+  const auto& entry = gen::suite_entry(GetParam());
+  const auto a = entry.generate(/*scale=*/0.04, /*seed=*/3);
+  ASSERT_GT(a.rows(), 0);
+  EXPECT_EQ(a.zero_diagonal_count(), 0)
+      << "generators must emit full diagonals";
+  SolverOptions opt;
+  opt.max_block = 16;
+  expect_solves(a, opt, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMatrices, SuiteSmoke,
+    ::testing::Values("sherman5", "lnsp3937", "lns3937", "sherman3",
+                      "jpwh991", "orsreg1", "saylr4", "goodwin", "e40r0100",
+                      "ex11", "raefsky4", "inaccura", "af23560", "vavasis3",
+                      "b33_5600", "dense1000", "memplus", "wang3"));
+
+TEST(Suite, StatisticsRoughlyMatchPaperAtFullScale) {
+  // Order must match the published order closely and nnz within a loose
+  // factor for the small matrices (structural replicas, not copies).
+  for (const char* name : {"sherman5", "jpwh991", "orsreg1", "saylr4"}) {
+    const auto& e = gen::suite_entry(name);
+    const auto a = e.generate(1.0, 1);
+    EXPECT_NEAR(a.rows(), e.paper_order, e.paper_order * 0.02) << name;
+    EXPECT_NEAR(static_cast<double>(a.nnz()),
+                static_cast<double>(e.paper_nnz), 0.25 * e.paper_nnz)
+        << name;
+  }
+}
+
+TEST(Suite, LookupFailsOnUnknownName) {
+  EXPECT_THROW(gen::suite_entry("nonexistent"), CheckError);
+}
+
+TEST(Suite, PrincipalSubmatrixTruncates) {
+  const auto a = testing::random_sparse(20, 3, 5);
+  const auto b = gen::principal_submatrix(a, 12);
+  EXPECT_EQ(b.rows(), 12);
+  for (int j = 0; j < 12; ++j)
+    for (int k = b.col_begin(j); k < b.col_end(j); ++k)
+      EXPECT_DOUBLE_EQ(b.values()[k], a.at(b.row_idx()[k], j));
+}
+
+}  // namespace
+}  // namespace sstar

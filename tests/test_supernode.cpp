@@ -1,0 +1,213 @@
+// Tests for supernode detection, amalgamation and the 2D block layout,
+// including the Theorem 1 dense-subcolumn property.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ordering/transversal.hpp"
+#include "supernode/block_layout.hpp"
+#include "supernode/partition.hpp"
+#include "symbolic/static_symbolic.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace sstar {
+namespace {
+
+StaticStructure symb(const SparseMatrix& a) {
+  return static_symbolic_factorization(make_zero_free_diagonal(a));
+}
+
+TEST(Partition, CoversAllColumnsContiguously) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto s = symb(testing::random_sparse(40, 3, 600 + seed));
+    const auto p = find_supernodes(s, 8);
+    ASSERT_GE(p.count(), 1);
+    EXPECT_EQ(p.start.front(), 0);
+    EXPECT_EQ(p.start.back(), 40);
+    for (int b = 0; b < p.count(); ++b) {
+      EXPECT_GE(p.width(b), 1);
+      EXPECT_LE(p.width(b), 8);
+    }
+    const auto blk = p.block_of_column();
+    for (int c = 1; c < 40; ++c) EXPECT_GE(blk[c], blk[c - 1]);
+  }
+}
+
+TEST(Partition, DenseMatrixIsOneSupernodePerCap) {
+  // A fully dense structure groups into ceil(n / max_block) supernodes.
+  const int n = 10;
+  std::vector<Triplet> t;
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) t.push_back({i, j, 1.0 + i + j});
+  const auto s = symb(SparseMatrix::from_triplets(n, n, std::move(t)));
+  const auto p4 = find_supernodes(s, 4);
+  EXPECT_EQ(p4.count(), 3);  // 4 + 4 + 2
+  const auto pall = find_supernodes(s, n);
+  EXPECT_EQ(pall.count(), 1);
+  EXPECT_DOUBLE_EQ(pall.average_width(), n);
+}
+
+TEST(Partition, ColumnsWithinSupernodeShareStructure) {
+  const auto s = symb(testing::random_sparse(50, 4, 321));
+  const auto p = find_supernodes(s, 16);
+  for (int b = 0; b < p.count(); ++b) {
+    const int first = p.start[b];
+    for (int c = first + 1; c < p.start[b + 1]; ++c) {
+      // L structure of c = L structure of first, minus rows in (first, c].
+      std::vector<int> want(s.l_rows.begin() + s.l_col_ptr[first],
+                            s.l_rows.begin() + s.l_col_ptr[first + 1]);
+      want.erase(std::remove_if(want.begin(), want.end(),
+                                [&](int r) { return r <= c; }),
+                 want.end());
+      const std::vector<int> got(s.l_rows.begin() + s.l_col_ptr[c],
+                                 s.l_rows.begin() + s.l_col_ptr[c + 1]);
+      EXPECT_EQ(got, want) << "supernode " << b << " column " << c;
+    }
+  }
+}
+
+TEST(Amalgamate, RZeroIsIdentityAndRGrowsBlocks) {
+  const auto s = symb(testing::random_sparse(60, 3, 777));
+  const auto p = find_supernodes(s, 25);
+  const auto p0 = amalgamate(s, p, 0, 25);
+  EXPECT_EQ(p0.start, p.start);
+  int prev_count = p.count();
+  for (int r = 2; r <= 10; r += 4) {
+    const auto pr = amalgamate(s, p, r, 25);
+    EXPECT_EQ(pr.start.front(), 0);
+    EXPECT_EQ(pr.start.back(), 60);
+    EXPECT_LE(pr.count(), prev_count) << "amalgamation should not split";
+    // Boundaries of pr must be a subset of p's boundaries.
+    for (int b : pr.start)
+      EXPECT_TRUE(std::binary_search(p.start.begin(), p.start.end(), b));
+  }
+}
+
+TEST(Amalgamate, RespectsMaxBlock) {
+  const auto s = symb(testing::random_sparse(60, 3, 888));
+  const auto p = find_supernodes(s, 6);
+  const auto pr = amalgamate(s, p, 1000, 6);
+  for (int b = 0; b < pr.count(); ++b) EXPECT_LE(pr.width(b), 6);
+}
+
+TEST(BlockLayout, Theorem1DenseSubcolumns) {
+  // Every U-panel column of every row block must be present in the U row
+  // structure of EVERY row of that block (structural density down the
+  // block) — Theorem 1. Holds exactly with r = 0 (no amalgamation).
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto a =
+        make_zero_free_diagonal(testing::random_sparse(45, 3, 70 + seed));
+    const auto s = static_symbolic_factorization(a);
+    const auto p = find_supernodes(s, 25);
+    const BlockLayout layout(s, p);
+    for (int b = 0; b < layout.num_blocks(); ++b) {
+      for (const int c : layout.panel_cols(b)) {
+        for (int r = layout.start(b); r < layout.start(b) + layout.width(b);
+             ++r) {
+          EXPECT_TRUE(std::binary_search(s.u_cols.begin() + s.u_row_ptr[r],
+                                         s.u_cols.begin() + s.u_row_ptr[r + 1],
+                                         c))
+              << "U block col " << c << " not dense at row " << r;
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockLayout, LPanelRowsDenseAcrossSupernode) {
+  // Mirror property for L: every panel row is present in every column of
+  // the supernode (with r = 0).
+  const auto a = make_zero_free_diagonal(testing::random_sparse(45, 3, 99));
+  const auto s = static_symbolic_factorization(a);
+  const BlockLayout layout(s, find_supernodes(s, 25));
+  for (int b = 0; b < layout.num_blocks(); ++b) {
+    for (const int r : layout.panel_rows(b)) {
+      for (int c = layout.start(b); c < layout.start(b) + layout.width(b);
+           ++c) {
+        EXPECT_TRUE(std::binary_search(s.l_rows.begin() + s.l_col_ptr[c],
+                                       s.l_rows.begin() + s.l_col_ptr[c + 1],
+                                       r))
+            << "L panel row " << r << " not dense at column " << c;
+      }
+    }
+  }
+}
+
+TEST(BlockLayout, BlockRefsTileThePanels) {
+  const auto a = make_zero_free_diagonal(testing::random_sparse(50, 4, 13));
+  const auto s = static_symbolic_factorization(a);
+  const auto p0 = find_supernodes(s, 10);
+  const BlockLayout layout(s, amalgamate(s, p0, 4, 10));
+  for (int b = 0; b < layout.num_blocks(); ++b) {
+    int covered = 0;
+    int prev_block = b;
+    for (const auto& ref : layout.l_blocks(b)) {
+      EXPECT_GT(ref.block, prev_block);
+      prev_block = ref.block;
+      EXPECT_EQ(ref.offset, covered);
+      covered += ref.count;
+      // Every row in the ref's range belongs to that row block.
+      for (int i = ref.offset; i < ref.offset + ref.count; ++i) {
+        const int r = layout.panel_rows(b)[i];
+        EXPECT_GE(r, layout.start(ref.block));
+        EXPECT_LT(r, layout.start(ref.block) + layout.width(ref.block));
+      }
+    }
+    EXPECT_EQ(covered, static_cast<int>(layout.panel_rows(b).size()));
+  }
+}
+
+TEST(BlockLayout, FindBlockAndIndexLookups) {
+  const auto a = make_zero_free_diagonal(testing::random_sparse(40, 3, 55));
+  const auto s = static_symbolic_factorization(a);
+  const BlockLayout layout(s, find_supernodes(s, 8));
+  for (int j = 0; j < layout.num_blocks(); ++j) {
+    for (const auto& ref : layout.l_blocks(j)) {
+      const BlockRef* found = layout.find_l_block(ref.block, j);
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(found->offset, ref.offset);
+    }
+    for (const auto& ref : layout.u_blocks(j)) {
+      const BlockRef* found = layout.find_u_block(j, ref.block);
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(found->count, ref.count);
+    }
+    for (const int r : layout.panel_rows(j)) {
+      const int idx = layout.panel_row_index(j, r);
+      ASSERT_GE(idx, 0);
+      EXPECT_EQ(layout.panel_rows(j)[idx], r);
+    }
+    EXPECT_EQ(layout.panel_row_index(j, layout.start(j)), -1);
+  }
+}
+
+TEST(BlockLayout, StoredEntriesCoverStructure) {
+  // Padded block storage is at least as large as the raw structure and
+  // bounded by a sane multiple for these matrices.
+  const auto a = make_zero_free_diagonal(testing::random_sparse(60, 3, 31));
+  const auto s = static_symbolic_factorization(a);
+  const auto p0 = find_supernodes(s, 25);
+  const BlockLayout l0(s, p0);
+  EXPECT_GE(l0.stored_entries(), s.factor_entries());
+  const BlockLayout l4(s, amalgamate(s, p0, 4, 25));
+  EXPECT_GE(l4.stored_entries(), s.factor_entries());
+}
+
+TEST(BlockLayout, Fig4ExamplePartitions) {
+  // The 7x7 walkthrough example: partition + layout invariants.
+  const auto a = make_zero_free_diagonal(testing::paper_fig4_matrix());
+  const auto s = static_symbolic_factorization(a);
+  const auto p = find_supernodes(s, 25);
+  EXPECT_GE(p.count(), 2) << "example should have multiple supernodes";
+  const BlockLayout layout(s, p);
+  EXPECT_EQ(layout.n(), 7);
+  // All panels refer to strictly later blocks.
+  for (int b = 0; b < layout.num_blocks(); ++b) {
+    for (int r : layout.panel_rows(b)) EXPECT_GE(r, layout.start(b + 1));
+    for (int c : layout.panel_cols(b)) EXPECT_GE(c, layout.start(b + 1));
+  }
+}
+
+}  // namespace
+}  // namespace sstar

@@ -1,0 +1,135 @@
+// Tests for the supernodal elimination tree and the tree-guided
+// amalgamation variant (§3.3).
+#include <gtest/gtest.h>
+
+#include "ordering/transversal.hpp"
+#include "solve/solver.hpp"
+#include "supernode/partition.hpp"
+#include "supernode/supernode_etree.hpp"
+#include "symbolic/static_symbolic.hpp"
+#include "test_helpers.hpp"
+
+namespace sstar {
+namespace {
+
+BlockLayout make_layout(int n, std::uint64_t seed, int mb = 8, int r = 0) {
+  const auto a = make_zero_free_diagonal(testing::random_sparse(n, 3, seed));
+  const auto s = static_symbolic_factorization(a);
+  auto part = amalgamate(s, find_supernodes(s, mb), r, mb);
+  return BlockLayout(s, std::move(part));
+}
+
+TEST(SupernodeEtree, ParentsAreLaterBlocksAndTreeIsConsistent) {
+  const auto lay = make_layout(90, 3);
+  const auto t = supernode_etree(lay);
+  ASSERT_EQ(t.count(), lay.num_blocks());
+  int roots = 0;
+  for (int b = 0; b < t.count(); ++b) {
+    if (t.parent[b] == -1) {
+      ++roots;
+      EXPECT_TRUE(lay.panel_rows(b).empty());
+    } else {
+      EXPECT_GT(t.parent[b], b);
+      // b appears in its parent's child list.
+      const auto& kids = t.children[t.parent[b]];
+      EXPECT_NE(std::find(kids.begin(), kids.end(), b), kids.end());
+    }
+  }
+  EXPECT_GE(roots, 1) << "the last block has no panel rows";
+  EXPECT_GE(t.leaves, 1);
+  EXPECT_GE(t.height, 0);
+  EXPECT_LT(t.height, t.count());
+}
+
+TEST(SupernodeEtree, ChainForBandMatrix) {
+  // A banded matrix gives a pure chain: one leaf, height nb-1.
+  const int n = 40;
+  std::vector<Triplet> t;
+  for (int i = 0; i < n; ++i) {
+    t.push_back({i, i, 4.0});
+    if (i + 1 < n) {
+      t.push_back({i + 1, i, -1.0});
+      t.push_back({i, i + 1, -1.0});
+    }
+  }
+  const auto a = SparseMatrix::from_triplets(n, n, std::move(t));
+  const auto s = static_symbolic_factorization(a);
+  const BlockLayout lay(s, find_supernodes(s, 4));
+  const auto tree = supernode_etree(lay);
+  EXPECT_EQ(tree.leaves, 1);
+  EXPECT_EQ(tree.height, lay.num_blocks() - 1);
+  EXPECT_LE(tree_parallelism(lay, tree), 1.5)
+      << "a chain has essentially no tree parallelism";
+}
+
+TEST(SupernodeEtree, ParallelismAboveOneOnSparseProblems) {
+  const auto lay = make_layout(150, 7);
+  const auto tree = supernode_etree(lay);
+  EXPECT_GT(tree_parallelism(lay, tree), 1.2)
+      << "random sparse problems should expose tree parallelism";
+}
+
+TEST(AmalgamateTree, IdentityAtRZeroAndBoundariesNest) {
+  const auto a = make_zero_free_diagonal(testing::random_sparse(80, 3, 11));
+  const auto s = static_symbolic_factorization(a);
+  const auto base = find_supernodes(s, 25);
+  EXPECT_EQ(amalgamate_tree(s, base, 0, 25).start, base.start);
+  const auto merged = amalgamate_tree(s, base, 6, 25);
+  EXPECT_LE(merged.count(), base.count());
+  for (const int b : merged.start)
+    EXPECT_TRUE(std::binary_search(base.start.begin(), base.start.end(), b));
+}
+
+TEST(AmalgamateTree, PaddingBudgetHonoredExactly) {
+  // The variant counts explicit zeros exactly: stored - structure must
+  // stay within r * width for each merged group (diag padding included).
+  const auto a = make_zero_free_diagonal(testing::random_sparse(100, 4, 13));
+  const auto s = static_symbolic_factorization(a);
+  const auto base = find_supernodes(s, 25);
+  const int r = 5;
+  const auto merged = amalgamate_tree(s, base, r, 25);
+  const BlockLayout lay(s, merged);
+  for (int b = 0; b < lay.num_blocks(); ++b) {
+    const std::int64_t w = lay.width(b);
+    const std::int64_t stored =
+        w * w + w * (static_cast<std::int64_t>(lay.panel_rows(b).size()) +
+                     static_cast<std::int64_t>(lay.panel_cols(b).size()));
+    std::int64_t actual = 0;
+    for (int c = lay.start(b); c < lay.start(b) + w; ++c)
+      actual += (s.l_col_ptr[c + 1] - s.l_col_ptr[c]) +
+                (s.u_row_ptr[c + 1] - s.u_row_ptr[c]);
+    // Merged groups obey the budget; single base supernodes may carry
+    // only their own diagonal-triangle padding.
+    if (w > 1) {
+      EXPECT_LE(stored - actual, static_cast<std::int64_t>(r) * w + w * w)
+          << "block " << b;
+    }
+  }
+}
+
+TEST(AmalgamateTree, SolvesThroughTheSolver) {
+  const auto a = testing::random_sparse(80, 4, 17);
+  SolverOptions opt;
+  opt.amalgamation_style = SolverOptions::AmalgamationStyle::kTreeGuided;
+  opt.amalgamation = 6;
+  Solver solver(a, opt);
+  solver.factorize();
+  const auto want = testing::random_vector(80, 5);
+  EXPECT_LT(testing::max_abs_diff(solver.solve(a.multiply(want)), want),
+            1e-7);
+}
+
+TEST(AmalgamateTree, ComparableToConsecutiveVariant) {
+  // Neither variant should be wildly worse in supernode count at r = 6.
+  const auto a = make_zero_free_diagonal(testing::random_sparse(120, 4, 19));
+  const auto s = static_symbolic_factorization(a);
+  const auto base = find_supernodes(s, 25);
+  const auto cons = amalgamate(s, base, 6, 25);
+  const auto tree = amalgamate_tree(s, base, 6, 25);
+  EXPECT_LE(tree.count(), base.count());
+  EXPECT_LT(static_cast<double>(tree.count()),
+            1.5 * static_cast<double>(cons.count()) + 5.0);
+}
+
+}  // namespace
+}  // namespace sstar

@@ -1,0 +1,99 @@
+// Unit tests for src/util.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace sstar {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    SSTAR_CHECK_MSG(1 == 2, "context " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { SSTAR_CHECK(2 + 2 == 4); }
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    const int k = r.uniform_int(-3, 3);
+    EXPECT_GE(k, -3);
+    EXPECT_LE(k, 3);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng r(11);
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(r.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng r(99);
+  const int n = 20000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  TextTable t("My Table");
+  t.set_header({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_separator();
+  t.add_row({"long-name", "2.5"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("My Table"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("value"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 3u);  // 2 rows + separator
+}
+
+TEST(Table, RejectsRowBeforeHeader) {
+  TextTable t("x");
+  EXPECT_THROW(t.add_row({"a"}), CheckError);
+}
+
+TEST(TableFormat, Numbers) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_percent(0.1234, 1), "12.3%");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(-42), "-42");
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+}
+
+}  // namespace
+}  // namespace sstar
