@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_amalg.dir/bench_ablation_amalg.cpp.o"
+  "CMakeFiles/bench_ablation_amalg.dir/bench_ablation_amalg.cpp.o.d"
+  "CMakeFiles/bench_ablation_amalg.dir/common.cpp.o"
+  "CMakeFiles/bench_ablation_amalg.dir/common.cpp.o.d"
+  "bench_ablation_amalg"
+  "bench_ablation_amalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_amalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

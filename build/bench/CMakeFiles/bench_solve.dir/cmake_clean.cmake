@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_solve.dir/bench_solve.cpp.o"
+  "CMakeFiles/bench_solve.dir/bench_solve.cpp.o.d"
+  "CMakeFiles/bench_solve.dir/common.cpp.o"
+  "CMakeFiles/bench_solve.dir/common.cpp.o.d"
+  "bench_solve"
+  "bench_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

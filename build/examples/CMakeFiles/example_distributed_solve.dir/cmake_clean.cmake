@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_solve.dir/distributed_solve.cpp.o"
+  "CMakeFiles/example_distributed_solve.dir/distributed_solve.cpp.o.d"
+  "example_distributed_solve"
+  "example_distributed_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

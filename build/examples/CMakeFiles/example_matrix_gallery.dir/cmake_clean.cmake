@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_matrix_gallery.dir/matrix_gallery.cpp.o"
+  "CMakeFiles/example_matrix_gallery.dir/matrix_gallery.cpp.o.d"
+  "example_matrix_gallery"
+  "example_matrix_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_matrix_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_paper_walkthrough.dir/paper_walkthrough.cpp.o"
+  "CMakeFiles/example_paper_walkthrough.dir/paper_walkthrough.cpp.o.d"
+  "example_paper_walkthrough"
+  "example_paper_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_paper_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sstar_solve_cli.dir/sstar_solve_cli.cpp.o"
+  "CMakeFiles/example_sstar_solve_cli.dir/sstar_solve_cli.cpp.o.d"
+  "example_sstar_solve_cli"
+  "example_sstar_solve_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sstar_solve_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_sstar_solve_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/dense_lu.cpp" "src/CMakeFiles/sstar.dir/baseline/dense_lu.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/baseline/dense_lu.cpp.o.d"
+  "/root/repo/src/baseline/gplu.cpp" "src/CMakeFiles/sstar.dir/baseline/gplu.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/baseline/gplu.cpp.o.d"
+  "/root/repo/src/blas/dense_blas.cpp" "src/CMakeFiles/sstar.dir/blas/dense_blas.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/blas/dense_blas.cpp.o.d"
+  "/root/repo/src/blas/flops.cpp" "src/CMakeFiles/sstar.dir/blas/flops.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/blas/flops.cpp.o.d"
+  "/root/repo/src/core/block_matrix.cpp" "src/CMakeFiles/sstar.dir/core/block_matrix.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/core/block_matrix.cpp.o.d"
+  "/root/repo/src/core/lu_1d.cpp" "src/CMakeFiles/sstar.dir/core/lu_1d.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/core/lu_1d.cpp.o.d"
+  "/root/repo/src/core/lu_2d.cpp" "src/CMakeFiles/sstar.dir/core/lu_2d.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/core/lu_2d.cpp.o.d"
+  "/root/repo/src/core/numeric.cpp" "src/CMakeFiles/sstar.dir/core/numeric.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/core/numeric.cpp.o.d"
+  "/root/repo/src/core/solve_1d.cpp" "src/CMakeFiles/sstar.dir/core/solve_1d.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/core/solve_1d.cpp.o.d"
+  "/root/repo/src/core/task_graph.cpp" "src/CMakeFiles/sstar.dir/core/task_graph.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/core/task_graph.cpp.o.d"
+  "/root/repo/src/core/task_model.cpp" "src/CMakeFiles/sstar.dir/core/task_model.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/core/task_model.cpp.o.d"
+  "/root/repo/src/matrix/generators.cpp" "src/CMakeFiles/sstar.dir/matrix/generators.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/matrix/generators.cpp.o.d"
+  "/root/repo/src/matrix/hb_io.cpp" "src/CMakeFiles/sstar.dir/matrix/hb_io.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/matrix/hb_io.cpp.o.d"
+  "/root/repo/src/matrix/io.cpp" "src/CMakeFiles/sstar.dir/matrix/io.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/matrix/io.cpp.o.d"
+  "/root/repo/src/matrix/pattern_ops.cpp" "src/CMakeFiles/sstar.dir/matrix/pattern_ops.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/matrix/pattern_ops.cpp.o.d"
+  "/root/repo/src/matrix/sparse.cpp" "src/CMakeFiles/sstar.dir/matrix/sparse.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/matrix/sparse.cpp.o.d"
+  "/root/repo/src/matrix/suite.cpp" "src/CMakeFiles/sstar.dir/matrix/suite.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/matrix/suite.cpp.o.d"
+  "/root/repo/src/ordering/etree.cpp" "src/CMakeFiles/sstar.dir/ordering/etree.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/ordering/etree.cpp.o.d"
+  "/root/repo/src/ordering/min_degree.cpp" "src/CMakeFiles/sstar.dir/ordering/min_degree.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/ordering/min_degree.cpp.o.d"
+  "/root/repo/src/ordering/nested_dissection.cpp" "src/CMakeFiles/sstar.dir/ordering/nested_dissection.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/ordering/nested_dissection.cpp.o.d"
+  "/root/repo/src/ordering/rcm.cpp" "src/CMakeFiles/sstar.dir/ordering/rcm.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/ordering/rcm.cpp.o.d"
+  "/root/repo/src/ordering/transversal.cpp" "src/CMakeFiles/sstar.dir/ordering/transversal.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/ordering/transversal.cpp.o.d"
+  "/root/repo/src/sched/list_schedule.cpp" "src/CMakeFiles/sstar.dir/sched/list_schedule.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/sched/list_schedule.cpp.o.d"
+  "/root/repo/src/sim/event_sim.cpp" "src/CMakeFiles/sstar.dir/sim/event_sim.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/sim/event_sim.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/CMakeFiles/sstar.dir/sim/machine.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/sim/machine.cpp.o.d"
+  "/root/repo/src/sim/memory_model.cpp" "src/CMakeFiles/sstar.dir/sim/memory_model.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/sim/memory_model.cpp.o.d"
+  "/root/repo/src/solve/condest.cpp" "src/CMakeFiles/sstar.dir/solve/condest.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/solve/condest.cpp.o.d"
+  "/root/repo/src/solve/refine.cpp" "src/CMakeFiles/sstar.dir/solve/refine.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/solve/refine.cpp.o.d"
+  "/root/repo/src/solve/solver.cpp" "src/CMakeFiles/sstar.dir/solve/solver.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/solve/solver.cpp.o.d"
+  "/root/repo/src/supernode/block_layout.cpp" "src/CMakeFiles/sstar.dir/supernode/block_layout.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/supernode/block_layout.cpp.o.d"
+  "/root/repo/src/supernode/partition.cpp" "src/CMakeFiles/sstar.dir/supernode/partition.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/supernode/partition.cpp.o.d"
+  "/root/repo/src/supernode/supernode_etree.cpp" "src/CMakeFiles/sstar.dir/supernode/supernode_etree.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/supernode/supernode_etree.cpp.o.d"
+  "/root/repo/src/symbolic/cholesky_symbolic.cpp" "src/CMakeFiles/sstar.dir/symbolic/cholesky_symbolic.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/symbolic/cholesky_symbolic.cpp.o.d"
+  "/root/repo/src/symbolic/static_symbolic.cpp" "src/CMakeFiles/sstar.dir/symbolic/static_symbolic.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/symbolic/static_symbolic.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/sstar.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/sstar.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/sstar.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_blas.cpp" "tests/CMakeFiles/sstar_tests.dir/test_blas.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_blas.cpp.o.d"
+  "/root/repo/tests/test_block_matrix.cpp" "tests/CMakeFiles/sstar_tests.dir/test_block_matrix.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_block_matrix.cpp.o.d"
+  "/root/repo/tests/test_condest.cpp" "tests/CMakeFiles/sstar_tests.dir/test_condest.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_condest.cpp.o.d"
+  "/root/repo/tests/test_dense_lu.cpp" "tests/CMakeFiles/sstar_tests.dir/test_dense_lu.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_dense_lu.cpp.o.d"
+  "/root/repo/tests/test_edge_cases.cpp" "tests/CMakeFiles/sstar_tests.dir/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/sstar_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/sstar_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_gplu.cpp" "tests/CMakeFiles/sstar_tests.dir/test_gplu.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_gplu.cpp.o.d"
+  "/root/repo/tests/test_hb_io.cpp" "tests/CMakeFiles/sstar_tests.dir/test_hb_io.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_hb_io.cpp.o.d"
+  "/root/repo/tests/test_helpers.cpp" "tests/CMakeFiles/sstar_tests.dir/test_helpers.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_helpers.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/sstar_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_lu2d_structure.cpp" "tests/CMakeFiles/sstar_tests.dir/test_lu2d_structure.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_lu2d_structure.cpp.o.d"
+  "/root/repo/tests/test_memory_model.cpp" "tests/CMakeFiles/sstar_tests.dir/test_memory_model.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_memory_model.cpp.o.d"
+  "/root/repo/tests/test_numeric.cpp" "tests/CMakeFiles/sstar_tests.dir/test_numeric.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_numeric.cpp.o.d"
+  "/root/repo/tests/test_ordering.cpp" "tests/CMakeFiles/sstar_tests.dir/test_ordering.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_ordering.cpp.o.d"
+  "/root/repo/tests/test_ordering_quality.cpp" "tests/CMakeFiles/sstar_tests.dir/test_ordering_quality.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_ordering_quality.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/sstar_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_refine.cpp" "tests/CMakeFiles/sstar_tests.dir/test_refine.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_refine.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/sstar_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/sstar_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_solve_1d.cpp" "tests/CMakeFiles/sstar_tests.dir/test_solve_1d.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_solve_1d.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/sstar_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/sstar_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_suite_fidelity.cpp" "tests/CMakeFiles/sstar_tests.dir/test_suite_fidelity.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_suite_fidelity.cpp.o.d"
+  "/root/repo/tests/test_supernode.cpp" "tests/CMakeFiles/sstar_tests.dir/test_supernode.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_supernode.cpp.o.d"
+  "/root/repo/tests/test_supernode_etree.cpp" "tests/CMakeFiles/sstar_tests.dir/test_supernode_etree.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_supernode_etree.cpp.o.d"
+  "/root/repo/tests/test_symbolic.cpp" "tests/CMakeFiles/sstar_tests.dir/test_symbolic.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_symbolic.cpp.o.d"
+  "/root/repo/tests/test_torture.cpp" "tests/CMakeFiles/sstar_tests.dir/test_torture.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_torture.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/sstar_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/sstar_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sstar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
