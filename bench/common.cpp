@@ -32,10 +32,17 @@ Options Options::parse(int argc, char** argv) {
       std::string name;
       while (std::getline(ss, name, ','))
         if (!name.empty()) opt.only.push_back(name);
+    } else if (auto v = value("--threads=")) {
+      std::stringstream ss(*v);
+      std::string t;
+      while (std::getline(ss, t, ','))
+        if (!t.empty()) opt.threads.push_back(std::atoi(t.c_str()));
+    } else if (auto v = value("--json=")) {
+      opt.json_path = *v;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "flags: --full --scale=F --seed=N --max-block=N --amalg=N "
-          "--matrices=a,b,c\n");
+          "--matrices=a,b,c --threads=1,2,4 --json=PATH\n");
       std::exit(0);
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // google-benchmark flags pass through (bench_kernels).

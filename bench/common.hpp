@@ -12,6 +12,8 @@
 //   --max-block=<n>   supernode width cap (default 25, the paper's BSIZE)
 //   --amalg=<n>       amalgamation factor r (default 4)
 //   --matrices=a,b,c  restrict to the named suite matrices
+//   --threads=1,2,4   thread counts for real-execution benches
+//   --json=<path>     machine-readable output path (benches that emit it)
 #pragma once
 
 #include <optional>
@@ -32,6 +34,8 @@ struct Options {
   int max_block = 25;
   int amalg = 4;
   std::vector<std::string> only;
+  std::vector<int> threads;  ///< real-execution thread counts (empty = bench default)
+  std::string json_path;     ///< where to write JSON results (empty = bench default)
 
   static Options parse(int argc, char** argv);
 

@@ -7,8 +7,10 @@
 // feeding the Cray T3D/T3E machine model.
 //
 // Conventions: column-major storage with an explicit leading dimension,
-// like reference BLAS. All kernels are sequential; parallelism in this
-// project lives at the task level and is simulated.
+// like reference BLAS. Each kernel is sequential; parallelism in this
+// project lives at the task level (simulated in src/sim, real threads in
+// src/exec), so kernels may run concurrently on different tasks — flop
+// accounting is therefore thread-local (see flops.hpp).
 #pragma once
 
 #include <cstddef>

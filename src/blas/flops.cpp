@@ -1,12 +1,63 @@
 #include "blas/flops.hpp"
 
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
 namespace sstar::blas {
 
-FlopCount& flop_counter() {
-  static FlopCount counter;
-  return counter;
+namespace {
+
+// Registry of every live thread's counter. A thread registers on first
+// BLAS call and unregisters at exit, folding its final counts into
+// `retired` so process-wide totals survive worker-pool teardown.
+struct Registry {
+  std::mutex mu;
+  std::vector<FlopCount*> live;
+  FlopCount retired;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
 }
 
-void reset_flop_counter() { flop_counter() = FlopCount{}; }
+struct ThreadSlot {
+  FlopCount count;
+
+  ThreadSlot() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.live.push_back(&count);
+  }
+  ~ThreadSlot() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.retired += count;
+    r.live.erase(std::find(r.live.begin(), r.live.end(), &count));
+  }
+};
+
+}  // namespace
+
+FlopCount& flop_counter() {
+  thread_local ThreadSlot slot;
+  return slot.count;
+}
+
+void reset_flop_counter() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.retired = FlopCount{};
+  for (FlopCount* c : r.live) *c = FlopCount{};
+}
+
+FlopCount merged_flop_count() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  FlopCount sum = r.retired;
+  for (const FlopCount* c : r.live) sum += *c;
+  return sum;
+}
 
 }  // namespace sstar::blas

@@ -1,6 +1,7 @@
 #include "core/lu_1d.hpp"
 
 #include "core/task_model.hpp"
+#include "exec/lu_real.hpp"
 #include "util/check.hpp"
 
 namespace sstar {
@@ -86,6 +87,20 @@ ParallelRunResult run_1d(const BlockLayout& layout,
   out.buffer_high_water = res.buffer_high_water(prog);
   if (capture_gantt) out.gantt = res.gantt(prog);
   return out;
+}
+
+exec::ExecStats run_1d_real(const BlockLayout& layout,
+                            const sim::MachineModel& machine,
+                            Schedule1DKind kind, SStarNumeric& numeric,
+                            int threads) {
+  const LuTaskGraph graph(layout);
+  const sched::Schedule1D schedule =
+      kind == Schedule1DKind::kComputeAhead
+          ? sched::compute_ahead_schedule(graph, machine.processors)
+          : sched::graph_schedule(graph, machine);
+  const sim::ParallelProgram prog =
+      build_1d_program(graph, schedule, machine, &numeric);
+  return exec::execute_program(prog, threads);
 }
 
 }  // namespace sstar

@@ -12,6 +12,7 @@
 
 #include "core/numeric.hpp"
 #include "core/parallel_run.hpp"
+#include "exec/executor.hpp"
 #include "sched/list_schedule.hpp"
 #include "sim/event_sim.hpp"
 
@@ -35,5 +36,16 @@ ParallelRunResult run_1d(const BlockLayout& layout,
                          const sim::MachineModel& machine,
                          Schedule1DKind kind, SStarNumeric* numeric = nullptr,
                          bool capture_gantt = false);
+
+/// Real-execution path (DESIGN.md "Simulated vs. real execution"): build
+/// the SAME 1D program, then run its kernels on `threads` hardware
+/// threads instead of advancing virtual clocks. The schedule's processor
+/// assignment becomes the worker affinity hints. Returns wall-clock
+/// stats; the factors in `numeric` are bitwise-identical to a
+/// sequential factorize().
+exec::ExecStats run_1d_real(const BlockLayout& layout,
+                            const sim::MachineModel& machine,
+                            Schedule1DKind kind, SStarNumeric& numeric,
+                            int threads = 0);
 
 }  // namespace sstar

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/task_model.hpp"
+#include "exec/lu_real.hpp"
 #include "util/check.hpp"
 
 namespace sstar {
@@ -308,6 +309,14 @@ ParallelRunResult run_2d(const BlockLayout& layout,
   out.buffer_high_water = res.buffer_high_water(prog);
   if (capture_gantt) out.gantt = res.gantt(prog);
   return out;
+}
+
+exec::ExecStats run_2d_real(const BlockLayout& layout,
+                            const sim::MachineModel& machine, bool async,
+                            SStarNumeric& numeric, int threads) {
+  const sim::ParallelProgram prog =
+      build_2d_program(layout, machine, async, &numeric);
+  return exec::execute_program(prog, threads);
 }
 
 }  // namespace sstar

@@ -26,6 +26,7 @@
 
 #include "core/numeric.hpp"
 #include "core/parallel_run.hpp"
+#include "exec/executor.hpp"
 #include "sim/event_sim.hpp"
 
 namespace sstar {
@@ -40,5 +41,15 @@ ParallelRunResult run_2d(const BlockLayout& layout,
                          const sim::MachineModel& machine, bool async = true,
                          SStarNumeric* numeric = nullptr,
                          bool capture_gantt = false);
+
+/// Real-execution path (DESIGN.md "Simulated vs. real execution"): build
+/// the SAME 2D SPMD program, then run its kernels on `threads` hardware
+/// threads — program order per virtual processor and every message edge
+/// become real dependencies, the virtual processor id becomes the worker
+/// affinity hint. The factors in `numeric` are bitwise-identical to a
+/// sequential factorize().
+exec::ExecStats run_2d_real(const BlockLayout& layout,
+                            const sim::MachineModel& machine, bool async,
+                            SStarNumeric& numeric, int threads = 0);
 
 }  // namespace sstar

@@ -49,6 +49,7 @@ void SStarNumeric::factor_block(int k) {
   double* p = data_.l_panel(k);
   const auto& prows = lay.panel_rows(k);
   blas::FlopRegion region;
+  int off_diagonal_pivots = 0;
 
   for (int ml = 0; ml < w; ++ml) {
     double* cd = d + static_cast<std::ptrdiff_t>(ml) * w;
@@ -75,7 +76,7 @@ void SStarNumeric::factor_block(int k) {
                                   : base + best_diag;
     pivot_of_col_[m] = t;
     if (t != m) {
-      ++stats_.off_diagonal_pivots;
+      ++off_diagonal_pivots;
       // Swap the FULL rows m and t inside column block k (LAPACK dgetf2
       // convention: already-computed multiplier columns move too, so the
       // block's L is in position space and the later DTRSM/DGEMM algebra
@@ -107,7 +108,9 @@ void SStarNumeric::factor_block(int k) {
     }
   }
   factored_[k] = 1;
+  const std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.flops += region.delta();
+  stats_.off_diagonal_pivots += off_diagonal_pivots;
 }
 
 // A row's stored cells within one column block: cells[i] sits at
@@ -199,6 +202,10 @@ void SStarNumeric::update_block(int k, int j) {
                 static_cast<std::ptrdiff_t>(uref->offset) * uld;
   const int* ucols = lay.panel_cols(k).data() + uref->offset;
   blas::FlopRegion region;
+  // Scratch is thread-local, not a member: concurrent Update tasks on
+  // exec:: workers each get their own buffers.
+  thread_local std::vector<double> work_;
+  thread_local std::vector<int> row_map_;
 
   // U_kj = L_kk^{-1} U_kj.
   blas::dtrsm_lower_unit(wk, ncols, data_.diag(k), wk, ukj, uld);
@@ -274,6 +281,7 @@ void SStarNumeric::update_block(int k, int j) {
     blas::flop_counter().blas1 += static_cast<std::uint64_t>(mrows) *
                                   static_cast<std::uint64_t>(ncols);
   }
+  const std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.flops += region.delta();
 }
 

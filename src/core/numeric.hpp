@@ -1,7 +1,13 @@
 // The S* numeric factorization kernels (§4.1, Figs. 6-8 of the paper).
 //
 // Work is organized in the paper's task granularity so parallel drivers
-// can invoke kernels in any dependency-respecting order:
+// can invoke kernels in any dependency-respecting order — including
+// CONCURRENTLY on real threads (src/exec): tasks targeting different
+// column blocks write disjoint storage, the LuTaskGraph edges order the
+// rest, and the kernels keep their scratch thread-local and their stats
+// accumulation mutex-guarded, so any dependency-respecting parallel
+// execution produces bitwise-identical factors to factorize().
+// Task kinds:
 //   Factor(k)      — factor diagonal block + L panel of supernode k with
 //                    partial pivoting confined to the panel (the static
 //                    structure guarantees all candidate rows live there);
@@ -17,6 +23,7 @@
 // rebuild the conventional PA = LU triple for verification.
 #pragma once
 
+#include <mutex>
 #include <vector>
 
 #include "blas/flops.hpp"
@@ -102,8 +109,7 @@ class SStarNumeric {
   BlockMatrix data_;
   std::vector<int> pivot_of_col_;
   FactorStats stats_;
-  std::vector<double> work_;        // GEMM result buffer
-  std::vector<int> row_map_;        // scatter row indices buffer
+  std::mutex stats_mu_;             // kernels may run on exec:: workers
   std::vector<int> factored_;       // per-block: factor_block done (checks)
 };
 

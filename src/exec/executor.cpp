@@ -1,0 +1,244 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace sstar::exec {
+
+double ExecStats::busy_total() const {
+  double sum = 0.0;
+  for (const double b : busy_seconds) sum += b;
+  return sum;
+}
+
+double ExecStats::efficiency() const {
+  return threads > 0 && seconds > 0.0 ? busy_total() / (threads * seconds)
+                                      : 0.0;
+}
+
+int default_thread_count() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+namespace {
+
+struct WorkerDeque {
+  std::mutex mu;
+  std::deque<int> dq;
+};
+
+// Shared state of one run_dag invocation.
+struct RunState {
+  const std::vector<DagTask>& tasks;
+  std::vector<std::vector<int>> succs;
+  std::vector<std::atomic<int>> indeg;
+  std::vector<WorkerDeque> workers;
+  int nw;
+
+  std::atomic<int> remaining;
+  std::atomic<int> ready{0};
+  std::atomic<bool> abort{false};
+  std::mutex sleep_mu;
+  std::condition_variable cv;
+  std::mutex err_mu;
+  std::exception_ptr err;
+
+  std::atomic<std::int64_t> steals{0};
+  std::atomic<std::int64_t> tasks_run{0};
+
+  RunState(const std::vector<DagTask>& t, int workers_n)
+      : tasks(t), succs(t.size()), indeg(t.size()),
+        workers(static_cast<std::size_t>(workers_n)), nw(workers_n),
+        remaining(static_cast<int>(t.size())) {}
+
+  void push(int t, int self) {
+    const int hint = tasks[static_cast<std::size_t>(t)].affinity;
+    const int target = hint >= 0 ? hint % nw : self;
+    {
+      WorkerDeque& w = workers[static_cast<std::size_t>(target)];
+      const std::lock_guard<std::mutex> lock(w.mu);
+      w.dq.push_back(t);
+    }
+    ready.fetch_add(1, std::memory_order_release);
+    // Lock-then-notify so a worker that just found `ready == 0` cannot
+    // miss the wakeup between its predicate check and its wait.
+    { const std::lock_guard<std::mutex> lock(sleep_mu); }
+    cv.notify_one();
+  }
+
+  int pop_own(int self) {
+    WorkerDeque& w = workers[static_cast<std::size_t>(self)];
+    const std::lock_guard<std::mutex> lock(w.mu);
+    if (w.dq.empty()) return -1;
+    const int t = w.dq.back();
+    w.dq.pop_back();
+    ready.fetch_sub(1, std::memory_order_relaxed);
+    return t;
+  }
+
+  int steal(int self) {
+    for (int d = 1; d < nw; ++d) {
+      WorkerDeque& w = workers[static_cast<std::size_t>((self + d) % nw)];
+      const std::lock_guard<std::mutex> lock(w.mu);
+      if (w.dq.empty()) continue;
+      const int t = w.dq.front();
+      w.dq.pop_front();
+      ready.fetch_sub(1, std::memory_order_relaxed);
+      steals.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+    return -1;
+  }
+
+  void record_error() {
+    {
+      const std::lock_guard<std::mutex> lock(err_mu);
+      if (!err) err = std::current_exception();
+    }
+    abort.store(true, std::memory_order_release);
+    cv.notify_all();
+  }
+
+  void worker_loop(int self, double* busy) {
+    for (;;) {
+      if (abort.load(std::memory_order_acquire)) return;
+      int t = pop_own(self);
+      if (t < 0) t = steal(self);
+      if (t < 0) {
+        if (remaining.load(std::memory_order_acquire) == 0) return;
+        std::unique_lock<std::mutex> lock(sleep_mu);
+        cv.wait_for(lock, std::chrono::microseconds(200), [&] {
+          return ready.load(std::memory_order_acquire) > 0 ||
+                 remaining.load(std::memory_order_acquire) == 0 ||
+                 abort.load(std::memory_order_acquire);
+        });
+        continue;
+      }
+
+      const DagTask& task = tasks[static_cast<std::size_t>(t)];
+      if (task.run) {
+        const WallTimer timer;
+        try {
+          task.run();
+        } catch (...) {
+          record_error();
+          return;
+        }
+        *busy += timer.seconds();
+        tasks_run.fetch_add(1, std::memory_order_relaxed);
+      }
+
+      for (const int s : succs[static_cast<std::size_t>(t)]) {
+        // acq_rel: the final decrement observes every predecessor's
+        // writes, and its push publishes them to whoever runs `s`.
+        if (indeg[static_cast<std::size_t>(s)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1)
+          push(s, self);
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+ExecStats run_dag(const std::vector<DagTask>& tasks,
+                  const std::vector<DagEdge>& edges, const ExecOptions& opt) {
+  const int n = static_cast<int>(tasks.size());
+  const int nw =
+      std::max(1, opt.threads > 0 ? opt.threads : default_thread_count());
+
+  // Indegrees + successor lists, validating edge endpoints.
+  std::vector<int> indeg0(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<int>> succs(static_cast<std::size_t>(n));
+  for (const DagEdge& e : edges) {
+    SSTAR_CHECK_MSG(e.from >= 0 && e.from < n && e.to >= 0 && e.to < n,
+                    "edge (" << e.from << " -> " << e.to
+                             << ") outside task range [0, " << n << ")");
+    succs[static_cast<std::size_t>(e.from)].push_back(e.to);
+    ++indeg0[static_cast<std::size_t>(e.to)];
+  }
+
+  // Kahn pass: yields a topological order (the single-thread execution
+  // order) and rejects cyclic inputs before any task runs.
+  std::vector<int> topo;
+  topo.reserve(static_cast<std::size_t>(n));
+  {
+    std::vector<int> indeg = indeg0;
+    for (int t = 0; t < n; ++t)
+      if (indeg[static_cast<std::size_t>(t)] == 0) topo.push_back(t);
+    for (std::size_t head = 0; head < topo.size(); ++head)
+      for (const int s : succs[static_cast<std::size_t>(topo[head])])
+        if (--indeg[static_cast<std::size_t>(s)] == 0) topo.push_back(s);
+    SSTAR_CHECK_MSG(static_cast<int>(topo.size()) == n,
+                    "task graph has a cycle ("
+                        << n - static_cast<int>(topo.size())
+                        << " tasks unreachable)");
+  }
+
+  ExecStats stats;
+  stats.threads = nw;
+  stats.busy_seconds.assign(static_cast<std::size_t>(nw), 0.0);
+
+  if (nw == 1) {
+    // Inline execution in topological order: the 1-thread baseline pays
+    // no pool overhead.
+    const WallTimer wall;
+    for (const int t : topo) {
+      const DagTask& task = tasks[static_cast<std::size_t>(t)];
+      if (!task.run) continue;
+      const WallTimer timer;
+      task.run();
+      stats.busy_seconds[0] += timer.seconds();
+      ++stats.tasks_run;
+    }
+    stats.seconds = wall.seconds();
+    return stats;
+  }
+
+  RunState state(tasks, nw);
+  state.succs = std::move(succs);
+  for (int t = 0; t < n; ++t)
+    state.indeg[static_cast<std::size_t>(t)].store(
+        indeg0[static_cast<std::size_t>(t)], std::memory_order_relaxed);
+
+  // Seed the deques with the source tasks before any worker starts:
+  // honor affinity hints, round-robin the rest.
+  for (int t = 0, rr = 0; t < n; ++t) {
+    if (indeg0[static_cast<std::size_t>(t)] != 0) continue;
+    const int hint = tasks[static_cast<std::size_t>(t)].affinity;
+    const int target = hint >= 0 ? hint % nw : (rr++ % nw);
+    state.workers[static_cast<std::size_t>(target)].dq.push_back(t);
+    state.ready.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const WallTimer wall;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(nw));
+  for (int w = 0; w < nw; ++w)
+    pool.emplace_back([&state, w, busy = &stats.busy_seconds[w]] {
+      state.worker_loop(w, busy);
+    });
+  for (std::thread& th : pool) th.join();
+  stats.seconds = wall.seconds();
+
+  if (state.err) std::rethrow_exception(state.err);
+  SSTAR_CHECK_MSG(state.remaining.load() == 0,
+                  "executor finished with unrun tasks");
+  stats.tasks_run = state.tasks_run.load();
+  stats.steals = state.steals.load();
+  return stats;
+}
+
+}  // namespace sstar::exec

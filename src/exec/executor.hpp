@@ -1,0 +1,65 @@
+// Shared-memory parallel DAG executor (real wall-clock parallelism).
+//
+// The simulated drivers in src/sim advance virtual processor clocks on
+// one thread; this module runs the SAME task graphs on a pool of
+// std::thread workers. Scheduling is the classic dependency-counter
+// scheme: every task carries an atomic indegree, the worker that
+// performs the final decrement pushes the task onto a ready deque, and
+// each worker owns one deque — popping its own back (LIFO, cache-warm)
+// and stealing other workers' fronts (FIFO, oldest work first) when it
+// runs dry. Tasks may carry an affinity hint (the paper's 2D processor
+// mapping, block (i, j) -> processor (i mod p_r, j mod p_c)); a hinted
+// task is pushed to the hinted worker's deque, but stealing keeps hints
+// advisory, never load-imbalancing.
+//
+// Completion counters use acquire/release ordering, so a task's body
+// happens-before every successor's body; code executed through run_dag
+// needs no further synchronization for data flowing along DAG edges.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace sstar::exec {
+
+/// One node of the DAG. `run` may be empty (a pure dependency node, e.g.
+/// a simulated communication task with no numeric payload).
+struct DagTask {
+  std::function<void()> run;
+  int affinity = -1;  ///< preferred worker (taken mod #workers); -1 = any
+};
+
+struct DagEdge {
+  int from = 0;
+  int to = 0;
+};
+
+struct ExecOptions {
+  int threads = 0;  ///< worker count; 0 = default_thread_count()
+};
+
+/// What a run_dag call measured.
+struct ExecStats {
+  int threads = 1;
+  double seconds = 0.0;              ///< wall time of the parallel region
+  std::int64_t tasks_run = 0;        ///< tasks with a non-empty body
+  std::int64_t steals = 0;           ///< cross-worker deque pops
+  std::vector<double> busy_seconds;  ///< per worker: time inside bodies
+
+  double busy_total() const;
+  /// busy_total / (threads * seconds): 1.0 = perfectly parallel.
+  double efficiency() const;
+};
+
+/// std::thread::hardware_concurrency() with a sane floor of 1.
+int default_thread_count();
+
+/// Execute every task exactly once, each after all its predecessors.
+/// Throws CheckError on malformed edges or cycles; rethrows the first
+/// exception a task body throws (remaining tasks are then abandoned).
+ExecStats run_dag(const std::vector<DagTask>& tasks,
+                  const std::vector<DagEdge>& edges,
+                  const ExecOptions& opt = {});
+
+}  // namespace sstar::exec

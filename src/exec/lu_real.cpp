@@ -1,0 +1,110 @@
+#include "exec/lu_real.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace sstar::exec {
+
+namespace {
+
+// Worker standing in for grid processor (i mod p_r, j mod p_c).
+int owner_worker(const sim::Grid& g, int i, int j) {
+  return (i % g.rows) * g.cols + (j % g.cols);
+}
+
+}  // namespace
+
+ExecStats factorize_parallel(const LuTaskGraph& graph, SStarNumeric& numeric,
+                             const LuRealOptions& opt) {
+  const int nt = opt.threads > 0 ? opt.threads : default_thread_count();
+  const sim::Grid grid = opt.grid.rows > 0 && opt.grid.cols > 0
+                             ? opt.grid
+                             : sim::default_grid(nt);
+
+  std::vector<DagTask> tasks(static_cast<std::size_t>(graph.num_tasks()));
+  for (int t = 0; t < graph.num_tasks(); ++t) {
+    const LuTask& lt = graph.task(t);
+    DagTask& dt = tasks[static_cast<std::size_t>(t)];
+    if (lt.type == LuTask::Type::kFactor) {
+      const int k = lt.k;
+      dt.run = [&numeric, k] { numeric.factor_block(k); };
+      dt.affinity = owner_worker(grid, k, k);
+    } else {
+      const int k = lt.k;
+      const int j = lt.j;
+      dt.run = [&numeric, k, j] {
+        numeric.scale_swap(k, j);
+        numeric.update_block(k, j);
+      };
+      // Updates of column block j land on j's owner — the same worker
+      // for every stage k, which also preserves property-3 locality.
+      dt.affinity = owner_worker(grid, j, j);
+    }
+  }
+
+  std::vector<DagEdge> edges;
+  edges.reserve(graph.edges().size());
+  for (const LuTaskEdge& e : graph.edges()) edges.push_back({e.from, e.to});
+
+  ExecOptions eo;
+  eo.threads = nt;
+  return run_dag(tasks, edges, eo);
+}
+
+ExecStats factorize_parallel(SStarNumeric& numeric, const LuRealOptions& opt) {
+  const LuTaskGraph graph(numeric.layout());
+  return factorize_parallel(graph, numeric, opt);
+}
+
+ExecStats execute_program(const sim::ParallelProgram& prog, int threads) {
+  const int n = static_cast<int>(prog.num_tasks());
+  std::vector<DagTask> tasks(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    const sim::TaskDef& def = prog.task(t);
+    tasks[static_cast<std::size_t>(t)].run = def.run;
+    tasks[static_cast<std::size_t>(t)].affinity = def.proc;
+  }
+
+  std::vector<DagEdge> edges;
+  for (int p = 0; p < prog.processors(); ++p) {
+    const std::vector<sim::TaskId>& order = prog.proc_order(p);
+    for (std::size_t i = 1; i < order.size(); ++i)
+      edges.push_back({order[i - 1], order[i]});
+  }
+  for (const sim::MessageDef& m : prog.messages())
+    edges.push_back({m.from, m.to});
+
+  ExecOptions eo;
+  eo.threads = threads;
+  return run_dag(tasks, edges, eo);
+}
+
+bool factors_bitwise_equal(const SStarNumeric& a, const SStarNumeric& b) {
+  const BlockLayout& lay = a.layout();
+  if (lay.n() != b.layout().n() ||
+      lay.num_blocks() != b.layout().num_blocks())
+    return false;
+  if (a.pivot_of_col() != b.pivot_of_col()) return false;
+
+  const BlockMatrix& da = a.data();
+  const BlockMatrix& db = b.data();
+  auto same = [](const double* x, const double* y, std::int64_t count) {
+    // memcmp: bitwise, not numeric — distinguishes -0.0/0.0 and NaNs.
+    return count == 0 ||
+           std::memcmp(x, y, static_cast<std::size_t>(count) *
+                                 sizeof(double)) == 0;
+  };
+  for (int k = 0; k < lay.num_blocks(); ++k) {
+    const std::int64_t w = lay.width(k);
+    const std::int64_t nr = static_cast<std::int64_t>(lay.panel_rows(k).size());
+    const std::int64_t nc = static_cast<std::int64_t>(lay.panel_cols(k).size());
+    if (!same(da.diag(k), db.diag(k), w * w) ||
+        !same(da.l_panel(k), db.l_panel(k), nr * w) ||
+        !same(da.u_panel(k), db.u_panel(k), w * nc))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace sstar::exec

@@ -1,0 +1,53 @@
+// Real-thread execution of the LU task DAG (§4.1) and of built SPMD
+// programs — the wall-clock counterpart of the simulated drivers.
+//
+// factorize_parallel() runs Factor(k) / Update(k, j) straight from the
+// LuTaskGraph on run_dag workers. Because the graph already serializes
+// consecutive updates of the same column block (property 3) and tasks
+// targeting different column blocks write disjoint storage, EVERY
+// dependency-respecting execution — any thread count, any steal pattern
+// — performs the identical kernel sequence per column and therefore
+// produces bitwise-identical factors to SStarNumeric::factorize().
+// factors_bitwise_equal() checks exactly that; tests enforce it.
+//
+// Affinity hints follow the paper's 2D mapping: the tasks of column
+// block j prefer the worker standing in for processor
+// (j mod p_r, j mod p_c) of the p_r x p_c grid.
+#pragma once
+
+#include "core/numeric.hpp"
+#include "core/task_graph.hpp"
+#include "exec/executor.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/machine.hpp"
+
+namespace sstar::exec {
+
+struct LuRealOptions {
+  int threads = 0;        ///< 0 = default_thread_count()
+  sim::Grid grid{0, 0};   ///< affinity mapping; {0,0} = default_grid(threads)
+};
+
+/// Factor `numeric` (already assembled) by executing its task DAG on
+/// real threads. Builds the LuTaskGraph internally.
+ExecStats factorize_parallel(SStarNumeric& numeric,
+                             const LuRealOptions& opt = {});
+
+/// Same, with a prebuilt graph (benchmarks rebuild per thread count but
+/// not per run).
+ExecStats factorize_parallel(const LuTaskGraph& graph, SStarNumeric& numeric,
+                             const LuRealOptions& opt = {});
+
+/// Execute a built simulated program's numeric closures on real threads.
+/// Dependencies are the program's own: per-processor program order plus
+/// every message edge; each task's virtual processor becomes its worker
+/// affinity hint. This is how the 1D/2D drivers (core/lu_1d, core/lu_2d)
+/// share one program build between simulation and real execution.
+ExecStats execute_program(const sim::ParallelProgram& prog, int threads = 0);
+
+/// True iff the two factorizations hold bit-for-bit identical values:
+/// same pivot sequence, same diagonal blocks, same L and U panels. The
+/// layouts must be the same object or structurally equal.
+bool factors_bitwise_equal(const SStarNumeric& a, const SStarNumeric& b);
+
+}  // namespace sstar::exec

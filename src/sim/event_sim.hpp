@@ -61,6 +61,12 @@ class ParallelProgram {
   std::size_t num_tasks() const { return tasks_.size(); }
   const TaskDef& task(TaskId t) const { return tasks_[t]; }
 
+  /// A processor's tasks in program order (exec/lu_real runs the same
+  /// program on real threads; program order is a dependency there too).
+  const std::vector<TaskId>& proc_order(int p) const { return order_[p]; }
+  /// Every message/ordering edge (bytes < 0 marks a pure dependency).
+  const std::vector<MessageDef>& messages() const { return messages_; }
+
  private:
   friend class SimulationResult;
   friend SimulationResult simulate(const ParallelProgram&,

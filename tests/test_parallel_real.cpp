@@ -1,0 +1,157 @@
+// Determinism and equivalence tests for the real multithreaded executor
+// (exec/lu_real): parallel factors must be BITWISE-identical to the
+// sequential factorization at every thread count and across repeated
+// runs — the task graph's property-3 serialization makes every
+// dependency-respecting execution perform the identical kernel sequence
+// per column block.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/lu_1d.hpp"
+#include "core/lu_2d.hpp"
+#include "core/task_graph.hpp"
+#include "exec/lu_real.hpp"
+#include "ordering/transversal.hpp"
+#include "supernode/partition.hpp"
+#include "symbolic/static_symbolic.hpp"
+#include "test_helpers.hpp"
+
+namespace sstar {
+namespace {
+
+struct Fixture {
+  SparseMatrix a;
+  StaticStructure s;
+  std::unique_ptr<BlockLayout> layout;
+
+  static Fixture make(int n, int extra, std::uint64_t seed, int mb = 8,
+                      int r = 4) {
+    Fixture f;
+    f.a = make_zero_free_diagonal(testing::random_sparse(n, extra, seed));
+    f.s = static_symbolic_factorization(f.a);
+    auto part = amalgamate(f.s, find_supernodes(f.s, mb), r, mb);
+    f.layout = std::make_unique<BlockLayout>(f.s, std::move(part));
+    return f;
+  }
+
+  std::unique_ptr<SStarNumeric> sequential() const {
+    auto num = std::make_unique<SStarNumeric>(*layout);
+    num->assemble(a);
+    num->factorize();
+    return num;
+  }
+};
+
+TEST(LuRealExec, BitwiseIdenticalAcrossThreadCounts) {
+  const auto f = Fixture::make(150, 5, 17, 10, 4);
+  const auto ref = f.sequential();
+  const LuTaskGraph graph(*f.layout);
+
+  for (const int nt : {1, 2, 4, 8}) {
+    SStarNumeric num(*f.layout);
+    num.assemble(f.a);
+    exec::LuRealOptions opt;
+    opt.threads = nt;
+    const exec::ExecStats st = exec::factorize_parallel(graph, num, opt);
+    EXPECT_EQ(st.threads, nt);
+    EXPECT_EQ(st.tasks_run, graph.num_tasks());
+    EXPECT_TRUE(exec::factors_bitwise_equal(*ref, num)) << nt << " threads";
+    EXPECT_EQ(num.pivot_of_col(), ref->pivot_of_col());
+    // Merged flop stats are sums of per-task counts: order-independent,
+    // so they match sequential exactly too.
+    EXPECT_EQ(num.stats().flops.blas1, ref->stats().flops.blas1);
+    EXPECT_EQ(num.stats().flops.blas2, ref->stats().flops.blas2);
+    EXPECT_EQ(num.stats().flops.blas3, ref->stats().flops.blas3);
+    EXPECT_EQ(num.stats().off_diagonal_pivots,
+              ref->stats().off_diagonal_pivots);
+  }
+}
+
+TEST(LuRealExec, RepeatedRunsIdentical) {
+  const auto f = Fixture::make(120, 4, 23, 8, 4);
+  std::unique_ptr<SStarNumeric> first;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto num = std::make_unique<SStarNumeric>(*f.layout);
+    num->assemble(f.a);
+    exec::LuRealOptions opt;
+    opt.threads = 4;
+    exec::factorize_parallel(*num, opt);
+    if (!first) {
+      first = std::move(num);
+      continue;
+    }
+    EXPECT_TRUE(exec::factors_bitwise_equal(*first, *num)) << "rep " << rep;
+  }
+}
+
+TEST(LuRealExec, SolveMatchesSequential) {
+  const auto f = Fixture::make(90, 4, 31);
+  const auto b = testing::random_vector(90, 7);
+  const auto want = f.sequential()->solve(b);
+
+  SStarNumeric num(*f.layout);
+  num.assemble(f.a);
+  exec::LuRealOptions opt;
+  opt.threads = 4;
+  exec::factorize_parallel(num, opt);
+  const auto got = num.solve(b);
+  for (int i = 0; i < 90; ++i) EXPECT_EQ(got[i], want[i]) << "i=" << i;
+}
+
+TEST(LuRealExec, ExplicitGridAffinity) {
+  const auto f = Fixture::make(100, 4, 41, 8, 4);
+  const auto ref = f.sequential();
+  for (const sim::Grid g : {sim::Grid{1, 4}, sim::Grid{2, 2},
+                            sim::Grid{4, 1}, sim::Grid{2, 4}}) {
+    SStarNumeric num(*f.layout);
+    num.assemble(f.a);
+    exec::LuRealOptions opt;
+    opt.threads = 4;
+    opt.grid = g;
+    exec::factorize_parallel(num, opt);
+    EXPECT_TRUE(exec::factors_bitwise_equal(*ref, num))
+        << "grid " << g.rows << "x" << g.cols;
+  }
+}
+
+TEST(LuRealExec, Run1DRealMatchesSequential) {
+  const auto f = Fixture::make(110, 4, 47, 8, 4);
+  const auto ref = f.sequential();
+  for (const auto kind :
+       {Schedule1DKind::kComputeAhead, Schedule1DKind::kGraph}) {
+    const auto m = sim::MachineModel::cray_t3e(4);
+    SStarNumeric num(*f.layout);
+    num.assemble(f.a);
+    const exec::ExecStats st = run_1d_real(*f.layout, m, kind, num, 4);
+    EXPECT_GT(st.tasks_run, 0);
+    EXPECT_TRUE(exec::factors_bitwise_equal(*ref, num));
+  }
+}
+
+TEST(LuRealExec, Run2DRealMatchesSequential) {
+  const auto f = Fixture::make(110, 4, 53, 8, 4);
+  const auto ref = f.sequential();
+  for (const bool async : {true, false}) {
+    const auto m = sim::MachineModel::cray_t3e(8);
+    SStarNumeric num(*f.layout);
+    num.assemble(f.a);
+    const exec::ExecStats st = run_2d_real(*f.layout, m, async, num, 4);
+    EXPECT_GT(st.tasks_run, 0);
+    EXPECT_TRUE(exec::factors_bitwise_equal(*ref, num))
+        << (async ? "async" : "sync");
+  }
+}
+
+TEST(LuRealExec, FactorsBitwiseEqualDetectsDifferences) {
+  const auto f = Fixture::make(60, 3, 61, 6, 2);
+  const auto x = f.sequential();
+  const auto y = f.sequential();
+  EXPECT_TRUE(exec::factors_bitwise_equal(*x, *y));
+  // Perturb one stored value: must be detected.
+  y->data().diag(0)[0] += 1.0;
+  EXPECT_FALSE(exec::factors_bitwise_equal(*x, *y));
+}
+
+}  // namespace
+}  // namespace sstar
