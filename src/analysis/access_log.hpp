@@ -1,0 +1,93 @@
+// Dynamic block-access recording — the runtime half of the dependence
+// auditor.
+//
+// When the library is configured with -DSSTAR_AUDIT=ON (compile
+// definition SSTAR_AUDIT_ENABLED), the numeric kernels report every
+// actual (task, block, access-kind) event through the SSTAR_AUDIT_*
+// macros below, and the executors tag each running kernel with its task
+// id (a thread-local, so concurrent workers attribute events correctly).
+// An offline checker (analysis/audit.hpp: check_recorded_accesses) then
+// cross-validates the recorded events against the statically declared
+// sets — catching both under-declared access sets (a kernel touched a
+// block its task never declared) and missing DAG edges (two recorded
+// conflicting accesses whose tasks no dependence path orders).
+//
+// In a default build the macros expand to ((void)0): no code, no
+// arguments evaluated, zero overhead. With auditing compiled in but no
+// log installed, the cost is one relaxed atomic load per event site.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "analysis/access_types.hpp"
+
+namespace sstar::analysis {
+
+struct AccessEvent {
+  int task = -1;  ///< executor task id current at record time
+  BlockCoord block;
+  Access access = Access::kRead;
+};
+
+/// Collects access events from all worker threads. At most one log is
+/// active process-wide; events recorded while no log is installed (or
+/// outside any tagged task, e.g. a plain sequential factorize()) are
+/// dropped.
+class AccessLog {
+ public:
+  AccessLog() = default;
+  ~AccessLog();
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Make this log the active event sink. Throws CheckError if another
+  /// log is already installed.
+  void install();
+  /// Stop collecting (no-op if this log is not the active one).
+  void uninstall();
+
+  /// Move out everything recorded so far.
+  std::vector<AccessEvent> take_events();
+
+  /// The active log, or nullptr.
+  static AccessLog* active();
+
+  /// Tag the calling thread as running executor task t (-1 = none).
+  /// Returns the previous tag so scopes can nest.
+  static int exchange_current_task(int t);
+
+  /// Record one access against the calling thread's current task. No-op
+  /// without an active log or a current task.
+  static void record(int i, int j, Access access);
+
+ private:
+  std::mutex mu_;
+  std::vector<AccessEvent> events_;
+};
+
+/// RAII thread tag: marks the enclosed scope as executing task t.
+class ScopedAuditTask {
+ public:
+  explicit ScopedAuditTask(int t) : prev_(AccessLog::exchange_current_task(t)) {}
+  ~ScopedAuditTask() { AccessLog::exchange_current_task(prev_); }
+  ScopedAuditTask(const ScopedAuditTask&) = delete;
+  ScopedAuditTask& operator=(const ScopedAuditTask&) = delete;
+
+ private:
+  int prev_;
+};
+
+}  // namespace sstar::analysis
+
+#ifdef SSTAR_AUDIT_ENABLED
+#define SSTAR_AUDIT_RECORD(i, j, acc) \
+  ::sstar::analysis::AccessLog::record((i), (j), (acc))
+#define SSTAR_AUDIT_TASK(t) \
+  const ::sstar::analysis::ScopedAuditTask sstar_audit_task_scope_(t)
+#else
+#define SSTAR_AUDIT_RECORD(i, j, acc) ((void)0)
+// Evaluates its (side-effect-free) argument so lambda captures used only
+// for auditing do not trip -Wunused-lambda-capture in default builds.
+#define SSTAR_AUDIT_TASK(t) ((void)(t))
+#endif

@@ -1,0 +1,290 @@
+#include "analysis/audit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/reachability.hpp"
+#include "util/check.hpp"
+
+namespace sstar::analysis {
+
+namespace {
+
+/// Internal normalized form shared by the graph and program audits.
+struct TaskSystem {
+  std::vector<std::vector<BlockAccess>> sets;  ///< per task, deduped
+  std::vector<std::string> labels;
+  std::vector<std::pair<int, int>> edges;
+
+  int num_tasks() const { return static_cast<int>(sets.size()); }
+};
+
+/// Sort by block and collapse duplicates, a write absorbing a read.
+std::vector<BlockAccess> dedupe(std::vector<BlockAccess> set) {
+  std::sort(set.begin(), set.end(),
+            [](const BlockAccess& a, const BlockAccess& b) {
+              if (!(a.block == b.block)) return a.block < b.block;
+              return a.access == Access::kWrite && b.access == Access::kRead;
+            });
+  std::vector<BlockAccess> out;
+  for (const BlockAccess& a : set)
+    if (out.empty() || !(out.back().block == a.block)) out.push_back(a);
+  return out;
+}
+
+TaskSystem graph_system(const LuTaskGraph& graph,
+                        const std::vector<LuTaskEdge>& edges) {
+  TaskSystem sys;
+  const int nt = graph.num_tasks();
+  sys.sets.reserve(static_cast<std::size_t>(nt));
+  sys.labels.reserve(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t) {
+    sys.sets.push_back(dedupe(task_access_set(graph, t)));
+    sys.labels.push_back(task_label(graph, t));
+  }
+  sys.edges.reserve(edges.size());
+  for (const LuTaskEdge& e : edges) sys.edges.push_back({e.from, e.to});
+  return sys;
+}
+
+std::vector<BlockAccess> kernel_access_set(const BlockLayout& lay,
+                                           const sim::KernelCall& call) {
+  return call.kind == sim::KernelCall::Kind::kFactor
+             ? factor_access_set(lay, call.k)
+             : update_access_set(lay, call.k, call.j);
+}
+
+TaskSystem program_system(const sim::ParallelProgram& prog,
+                          const BlockLayout& lay) {
+  TaskSystem sys;
+  const int nt = static_cast<int>(prog.num_tasks());
+  sys.sets.reserve(static_cast<std::size_t>(nt));
+  sys.labels.reserve(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t) {
+    const sim::TaskDef& def = prog.task(t);
+    std::vector<BlockAccess> set;
+    for (const sim::KernelCall& call : def.kernels) {
+      const auto one = kernel_access_set(lay, call);
+      set.insert(set.end(), one.begin(), one.end());
+    }
+    sys.sets.push_back(dedupe(std::move(set)));
+    sys.labels.push_back(def.label.empty() ? "task " + std::to_string(t)
+                                           : def.label);
+  }
+  for (int p = 0; p < prog.processors(); ++p) {
+    const std::vector<sim::TaskId>& order = prog.proc_order(p);
+    for (std::size_t i = 1; i < order.size(); ++i)
+      sys.edges.push_back({order[i - 1], order[i]});
+  }
+  for (const sim::MessageDef& m : prog.messages())
+    sys.edges.push_back({m.from, m.to});
+  return sys;
+}
+
+/// One flattened access, sortable by resource.
+struct ResourceAccess {
+  BlockCoord block;
+  int task = 0;
+  Access access = Access::kRead;
+};
+
+void flag(AuditReport* report, const TaskSystem& sys,
+          const ResourceAccess& a, const ResourceAccess& b) {
+  ++report->violations_found;
+  AuditViolation v;
+  const bool a_first = a.task < b.task;
+  const ResourceAccess& first = a_first ? a : b;
+  const ResourceAccess& second = a_first ? b : a;
+  v.task_a = first.task;
+  v.task_b = second.task;
+  v.label_a = sys.labels[static_cast<std::size_t>(first.task)];
+  v.label_b = sys.labels[static_cast<std::size_t>(second.task)];
+  v.block = a.block;
+  v.access_a = first.access;
+  v.access_b = second.access;
+  report->violations.push_back(std::move(v));
+}
+
+/// The core check: every W/W or R/W pair on one resource must be
+/// ordered by a dependence path.
+AuditReport audit_system(const TaskSystem& sys) {
+  AuditReport report;
+  report.num_tasks = sys.num_tasks();
+  report.num_edges = static_cast<std::int64_t>(sys.edges.size());
+
+  std::vector<ResourceAccess> flat;
+  for (int t = 0; t < sys.num_tasks(); ++t)
+    for (const BlockAccess& a : sys.sets[static_cast<std::size_t>(t)])
+      flat.push_back({a.block, t, a.access});
+  std::sort(flat.begin(), flat.end(),
+            [](const ResourceAccess& a, const ResourceAccess& b) {
+              if (!(a.block == b.block)) return a.block < b.block;
+              return a.task < b.task;
+            });
+
+  const Reachability reach(sys.num_tasks(), sys.edges);
+
+  std::size_t lo = 0;
+  while (lo < flat.size()) {
+    std::size_t hi = lo + 1;
+    while (hi < flat.size() && flat[hi].block == flat[lo].block) ++hi;
+    ++report.num_resources;
+    for (std::size_t p = lo; p < hi; ++p) {
+      for (std::size_t q = p + 1; q < hi; ++q) {
+        if (flat[p].access == Access::kRead &&
+            flat[q].access == Access::kRead)
+          continue;  // R/R never conflicts
+        ++report.pairs_checked;
+        if (!reach.ordered(flat[p].task, flat[q].task))
+          flag(&report, sys, flat[p], flat[q]);
+      }
+    }
+    lo = hi;
+  }
+  return report;
+}
+
+DynamicAuditReport check_recorded(const TaskSystem& sys,
+                                  const std::vector<AccessEvent>& events) {
+  DynamicAuditReport report;
+  report.events = static_cast<std::int64_t>(events.size());
+
+  // Validate each event against its task's declared set: a write needs a
+  // declared write, a read a declared read or write.
+  auto declared = [&sys](int task, BlockCoord block,
+                         Access access) -> bool {
+    const auto& set = sys.sets[static_cast<std::size_t>(task)];
+    const auto it = std::lower_bound(
+        set.begin(), set.end(), block,
+        [](const BlockAccess& a, const BlockCoord& b) { return a.block < b; });
+    if (it == set.end() || !(it->block == block)) return false;
+    return access == Access::kRead || it->access == Access::kWrite;
+  };
+
+  // Dedupe (task, block) to the strongest recorded access for the
+  // ordering re-check.
+  std::vector<ResourceAccess> actual;
+  for (const AccessEvent& ev : events) {
+    if (ev.task < 0 || ev.task >= sys.num_tasks()) {
+      UndeclaredAccess u;
+      u.task = ev.task;
+      u.label = "task " + std::to_string(ev.task);
+      u.block = ev.block;
+      u.access = ev.access;
+      report.undeclared.push_back(std::move(u));
+      continue;
+    }
+    if (!declared(ev.task, ev.block, ev.access)) {
+      UndeclaredAccess u;
+      u.task = ev.task;
+      u.label = sys.labels[static_cast<std::size_t>(ev.task)];
+      u.block = ev.block;
+      u.access = ev.access;
+      report.undeclared.push_back(std::move(u));
+    }
+    actual.push_back({ev.block, ev.task, ev.access});
+  }
+
+  std::sort(actual.begin(), actual.end(),
+            [](const ResourceAccess& a, const ResourceAccess& b) {
+              if (!(a.block == b.block)) return a.block < b.block;
+              if (a.task != b.task) return a.task < b.task;
+              return a.access == Access::kWrite &&
+                     b.access == Access::kRead;
+            });
+  actual.erase(std::unique(actual.begin(), actual.end(),
+                           [](const ResourceAccess& a,
+                              const ResourceAccess& b) {
+                             return a.block == b.block && a.task == b.task;
+                           }),
+               actual.end());
+
+  const Reachability reach(sys.num_tasks(), sys.edges);
+  std::size_t lo = 0;
+  while (lo < actual.size()) {
+    std::size_t hi = lo + 1;
+    while (hi < actual.size() && actual[hi].block == actual[lo].block) ++hi;
+    for (std::size_t p = lo; p < hi; ++p) {
+      for (std::size_t q = p + 1; q < hi; ++q) {
+        if (actual[p].access == Access::kRead &&
+            actual[q].access == Access::kRead)
+          continue;
+        if (reach.ordered(actual[p].task, actual[q].task)) continue;
+        AuditViolation v;
+        v.task_a = actual[p].task;
+        v.task_b = actual[q].task;
+        v.label_a = sys.labels[static_cast<std::size_t>(v.task_a)];
+        v.label_b = sys.labels[static_cast<std::size_t>(v.task_b)];
+        v.block = actual[p].block;
+        v.access_a = actual[p].access;
+        v.access_b = actual[q].access;
+        report.unordered.push_back(std::move(v));
+      }
+    }
+    lo = hi;
+  }
+  return report;
+}
+
+}  // namespace
+
+std::string AuditViolation::message() const {
+  std::ostringstream os;
+  os << label_a << " [task " << task_a << "] and " << label_b << " [task "
+     << task_b << "] both access " << block_name(block) << " ("
+     << access_name(access_a) << "/" << access_name(access_b)
+     << ") with no ordering path; missing edge " << task_a << " -> "
+     << task_b;
+  return os.str();
+}
+
+std::string AuditReport::summary() const {
+  std::ostringstream os;
+  os << (ok() ? "PASS" : "FAIL") << ": " << num_tasks << " tasks, "
+     << num_edges << " edges, " << num_resources << " resources, "
+     << pairs_checked << " conflicting pairs checked, " << violations_found
+     << " unordered";
+  return os.str();
+}
+
+std::string UndeclaredAccess::message() const {
+  std::ostringstream os;
+  os << label << " [task " << task << "] recorded an undeclared "
+     << access_name(access) << " of " << block_name(block);
+  return os.str();
+}
+
+std::string DynamicAuditReport::summary() const {
+  std::ostringstream os;
+  os << (ok() ? "PASS" : "FAIL") << ": " << events << " recorded events, "
+     << undeclared.size() << " undeclared, " << unordered.size()
+     << " unordered conflicts";
+  return os.str();
+}
+
+AuditReport audit_task_graph(const LuTaskGraph& graph) {
+  return audit_task_graph(graph, graph.edges());
+}
+
+AuditReport audit_task_graph(const LuTaskGraph& graph,
+                             const std::vector<LuTaskEdge>& edges) {
+  return audit_system(graph_system(graph, edges));
+}
+
+AuditReport audit_program(const sim::ParallelProgram& prog,
+                          const BlockLayout& layout) {
+  return audit_system(program_system(prog, layout));
+}
+
+DynamicAuditReport check_recorded_accesses(
+    const LuTaskGraph& graph, const std::vector<AccessEvent>& events) {
+  return check_recorded(graph_system(graph, graph.edges()), events);
+}
+
+DynamicAuditReport check_recorded_accesses(
+    const sim::ParallelProgram& prog, const BlockLayout& layout,
+    const std::vector<AccessEvent>& events) {
+  return check_recorded(program_system(prog, layout), events);
+}
+
+}  // namespace sstar::analysis

@@ -1,0 +1,45 @@
+#include "analysis/reachability.hpp"
+
+#include "util/check.hpp"
+
+namespace sstar::analysis {
+
+Reachability::Reachability(int num_nodes,
+                           const std::vector<std::pair<int, int>>& edges)
+    : n_(num_nodes), words_((static_cast<std::size_t>(num_nodes) + 63) / 64) {
+  std::vector<std::vector<int>> succs(static_cast<std::size_t>(n_));
+  std::vector<int> indeg(static_cast<std::size_t>(n_), 0);
+  for (const auto& [from, to] : edges) {
+    SSTAR_CHECK_MSG(from >= 0 && from < n_ && to >= 0 && to < n_,
+                    "edge (" << from << " -> " << to
+                             << ") outside node range [0, " << n_ << ")");
+    succs[static_cast<std::size_t>(from)].push_back(to);
+    ++indeg[static_cast<std::size_t>(to)];
+  }
+
+  topo_.reserve(static_cast<std::size_t>(n_));
+  for (int t = 0; t < n_; ++t)
+    if (indeg[static_cast<std::size_t>(t)] == 0) topo_.push_back(t);
+  for (std::size_t head = 0; head < topo_.size(); ++head)
+    for (const int s : succs[static_cast<std::size_t>(topo_[head])])
+      if (--indeg[static_cast<std::size_t>(s)] == 0) topo_.push_back(s);
+  SSTAR_CHECK_MSG(static_cast<int>(topo_.size()) == n_,
+                  "graph has a cycle ("
+                      << n_ - static_cast<int>(topo_.size())
+                      << " nodes on cycles)");
+
+  bits_.assign(static_cast<std::size_t>(n_) * words_, 0);
+  for (std::size_t idx = topo_.size(); idx-- > 0;) {
+    const int t = topo_[idx];
+    std::uint64_t* rt = bits_.data() + static_cast<std::size_t>(t) * words_;
+    for (const int s : succs[static_cast<std::size_t>(t)]) {
+      rt[static_cast<std::size_t>(s) >> 6] |=
+          std::uint64_t{1} << (static_cast<unsigned>(s) & 63u);
+      const std::uint64_t* rs =
+          bits_.data() + static_cast<std::size_t>(s) * words_;
+      for (std::size_t w = 0; w < words_; ++w) rt[w] |= rs[w];
+    }
+  }
+}
+
+}  // namespace sstar::analysis

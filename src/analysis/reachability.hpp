@@ -1,0 +1,53 @@
+// Bitset-based transitive closure of a DAG.
+//
+// The dependence auditor needs "is there a path from task a to task b?"
+// for every conflicting access pair, so the closure is materialized once
+// — one bitset row per node, filled in reverse topological order:
+// reach(t) = union over successors s of ({s} ∪ reach(s)). Memory is
+// n²/8 bytes (a 10k-task graph costs ~12.5 MB), construction is
+// O(E · n / 64).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sstar::analysis {
+
+class Reachability {
+ public:
+  /// Build from directed edges over nodes [0, num_nodes). Throws
+  /// CheckError on out-of-range endpoints or a cycle.
+  Reachability(int num_nodes,
+               const std::vector<std::pair<int, int>>& edges);
+
+  int num_nodes() const { return n_; }
+
+  /// True iff a non-empty path from `from` leads to `to`.
+  bool reaches(int from, int to) const {
+    return (row(from)[static_cast<std::size_t>(to) >> 6] >>
+            (static_cast<unsigned>(to) & 63u)) &
+           1u;
+  }
+
+  /// True iff the two nodes are ordered either way (a happens-before b
+  /// or b happens-before a). a == b counts as ordered.
+  bool ordered(int a, int b) const {
+    return a == b || reaches(a, b) || reaches(b, a);
+  }
+
+  /// A topological order of the graph (computed during construction).
+  const std::vector<int>& topological_order() const { return topo_; }
+
+ private:
+  const std::uint64_t* row(int t) const {
+    return bits_.data() + static_cast<std::size_t>(t) * words_;
+  }
+
+  int n_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> bits_;
+  std::vector<int> topo_;
+};
+
+}  // namespace sstar::analysis

@@ -24,6 +24,8 @@ sim::ParallelProgram build_1d_program(const LuTaskGraph& graph,
       if (task.type == LuTask::Type::kFactor) {
         def.kind = kKindFactor;
         def.label = "F(" + std::to_string(task.k) + ")";
+        def.kernels.push_back(
+            {sim::KernelCall::Kind::kFactor, task.k, task.k});
         if (numeric) {
           const int k = task.k;
           def.run = [numeric, k] { numeric->factor_block(k); };
@@ -32,6 +34,8 @@ sim::ParallelProgram build_1d_program(const LuTaskGraph& graph,
         def.kind = kKindUpdate;
         def.label =
             "U(" + std::to_string(task.k) + "," + std::to_string(task.j) + ")";
+        def.kernels.push_back(
+            {sim::KernelCall::Kind::kUpdate, task.k, task.j});
         if (numeric) {
           const int k = task.k;
           const int j = task.j;

@@ -36,7 +36,8 @@ struct Builder {
   }
 
   sim::TaskId add(int p, double seconds, std::string label, int stage,
-                  int kind, std::function<void()> run = nullptr) {
+                  int kind, std::function<void()> run = nullptr,
+                  std::vector<sim::KernelCall> kernels = {}) {
     sim::TaskDef def;
     def.proc = p;
     def.seconds = seconds;
@@ -44,6 +45,7 @@ struct Builder {
     def.stage = stage;
     def.kind = kind;
     def.run = std::move(run);
+    def.kernels = std::move(kernels);
     const sim::TaskId id = prog.add_task(std::move(def));
     step_tasks.push_back(id);
     if (prev_barrier >= 0) prog.add_dependency(prev_barrier, id);
@@ -85,7 +87,8 @@ struct Builder {
         m.compute_seconds(static_cast<double>(w) * pr, 0.0, 0.0) +
         (pr > 1 ? 2.0 * w * log_pr * m.latency : 0.0);
     ids.fp = add(proc(kr, kc), piv_seconds, "FP(" + std::to_string(k) + ")",
-                 k, kKindFactor, std::move(run));
+                 k, kKindFactor, std::move(run),
+                 {{sim::KernelCall::Kind::kFactor, k, k}});
     const double sync_bytes = 8.0 * w * w / pr;
     for (int r = 0; r < pr; ++r) {
       if (r != kr) prog.add_message(ids.f1[r], ids.fp, sync_bytes);
@@ -188,7 +191,9 @@ struct Builder {
                                         const std::vector<sim::TaskId>& sw) {
     const int kr = k % pr;
     std::vector<double> cost(static_cast<std::size_t>(pr) * pc, 0.0);
-    // For numeric execution: per designated proc, the (k, j) kernels.
+    // Per designated proc, the (k, j) kernels: numeric closures ride on
+    // them when a SStarNumeric is present; the KernelCall descriptors
+    // always do (the dependence auditor derives access sets from them).
     std::vector<std::vector<int>> kernels(
         static_cast<std::size_t>(pr) * pc);
 
@@ -206,8 +211,7 @@ struct Builder {
       // Diagonal-block target (i == j) slice.
       cost[static_cast<std::size_t>(proc(j % pr, jc))] +=
           secs(update2d_task_flops(lay, k, j, j));
-      if (numeric) kernels[static_cast<std::size_t>(proc(j % pr, jc))]
-          .push_back(j);
+      kernels[static_cast<std::size_t>(proc(j % pr, jc))].push_back(j);
     }
 
     std::vector<sim::TaskId> ids(static_cast<std::size_t>(pr) * pc, -1);
@@ -227,8 +231,12 @@ struct Builder {
             }
           };
         }
+        std::vector<sim::KernelCall> calls;
+        calls.reserve(kernels[p].size());
+        for (const int j : kernels[p])
+          calls.push_back({sim::KernelCall::Kind::kUpdate, k, j});
         ids[p] = add(p, cost[p], tag + std::to_string(k) + ")", k,
-                     kKindUpdate, std::move(run));
+                     kKindUpdate, std::move(run), std::move(calls));
         prog.add_dependency(sw[p], ids[p]);
         // U-panel multicast from the diagonal processor row.
         if (r != kr && cost[p] > 0.0)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/access_log.hpp"
 #include "blas/dense_blas.hpp"
 #include "util/check.hpp"
 
@@ -42,6 +43,13 @@ double SStarNumeric::growth_factor() const {
 
 void SStarNumeric::factor_block(int k) {
   const BlockLayout& lay = *layout_;
+#ifdef SSTAR_AUDIT_ENABLED
+  SSTAR_AUDIT_RECORD(k, analysis::BlockCoord::kPivotSeq,
+                     analysis::Access::kWrite);
+  SSTAR_AUDIT_RECORD(k, k, analysis::Access::kWrite);
+  for (const BlockRef& lref : lay.l_blocks(k))
+    SSTAR_AUDIT_RECORD(lref.block, k, analysis::Access::kWrite);
+#endif
   const int w = lay.width(k);
   const int base = lay.start(k);
   const int nr = data_.l_ld(k);
@@ -157,6 +165,14 @@ SStarNumeric::RowSlice SStarNumeric::row_slice(int row, int j) {
 void SStarNumeric::swap_rows_in_block(int m, int t, int j) {
   RowSlice a = row_slice(m, j);
   RowSlice b = row_slice(t, j);
+#ifdef SSTAR_AUDIT_ENABLED
+  if (a.ptr != nullptr)
+    SSTAR_AUDIT_RECORD(layout_->block_of_column(m), j,
+                       analysis::Access::kWrite);
+  if (b.ptr != nullptr)
+    SSTAR_AUDIT_RECORD(layout_->block_of_column(t), j,
+                       analysis::Access::kWrite);
+#endif
   // Walk the two sorted column lists; swap where both rows have storage.
   // Where only one side has storage the other side's content is
   // structurally zero (see Update scatter invariants), so the stored
@@ -183,6 +199,8 @@ void SStarNumeric::scale_swap(int k, int j) {
   SSTAR_CHECK_MSG(factored_[k], "ScaleSwap(" << k << "," << j
                                              << ") before Factor(" << k
                                              << ")");
+  SSTAR_AUDIT_RECORD(k, analysis::BlockCoord::kPivotSeq,
+                     analysis::Access::kRead);
   for (int m = lay.start(k); m < lay.start(k + 1); ++m) {
     const int t = pivot_of_col_[m];
     if (t != m) swap_rows_in_block(m, t, j);
@@ -207,6 +225,9 @@ void SStarNumeric::update_block(int k, int j) {
   thread_local std::vector<double> work_;
   thread_local std::vector<int> row_map_;
 
+  SSTAR_AUDIT_RECORD(k, k, analysis::Access::kRead);
+  SSTAR_AUDIT_RECORD(k, j, analysis::Access::kWrite);
+
   // U_kj = L_kk^{-1} U_kj.
   blas::dtrsm_lower_unit(wk, ncols, data_.diag(k), wk, ukj, uld);
 
@@ -217,6 +238,13 @@ void SStarNumeric::update_block(int k, int j) {
     const int mrows = lref.count;
     const double* lik = data_.l_panel(k) + lref.offset;
     const int lld = data_.l_ld(k);
+#ifdef SSTAR_AUDIT_ENABLED
+    SSTAR_AUDIT_RECORD(i, k, analysis::Access::kRead);
+    const bool target_present =
+        i == j || (i < j ? lay.find_u_block(i, j) != nullptr
+                         : lay.find_l_block(i, j) != nullptr);
+    if (target_present) SSTAR_AUDIT_RECORD(i, j, analysis::Access::kWrite);
+#endif
 
     work_.resize(static_cast<std::size_t>(mrows) *
                  static_cast<std::size_t>(ncols));

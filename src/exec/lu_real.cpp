@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "analysis/access_log.hpp"
 #include "util/check.hpp"
 
 namespace sstar::exec {
@@ -28,12 +29,16 @@ ExecStats factorize_parallel(const LuTaskGraph& graph, SStarNumeric& numeric,
     DagTask& dt = tasks[static_cast<std::size_t>(t)];
     if (lt.type == LuTask::Type::kFactor) {
       const int k = lt.k;
-      dt.run = [&numeric, k] { numeric.factor_block(k); };
+      dt.run = [&numeric, k, t] {
+        SSTAR_AUDIT_TASK(t);
+        numeric.factor_block(k);
+      };
       dt.affinity = owner_worker(grid, k, k);
     } else {
       const int k = lt.k;
       const int j = lt.j;
-      dt.run = [&numeric, k, j] {
+      dt.run = [&numeric, k, j, t] {
+        SSTAR_AUDIT_TASK(t);
         numeric.scale_swap(k, j);
         numeric.update_block(k, j);
       };
@@ -62,7 +67,16 @@ ExecStats execute_program(const sim::ParallelProgram& prog, int threads) {
   std::vector<DagTask> tasks(static_cast<std::size_t>(n));
   for (int t = 0; t < n; ++t) {
     const sim::TaskDef& def = prog.task(t);
+#ifdef SSTAR_AUDIT_ENABLED
+    if (def.run) {
+      tasks[static_cast<std::size_t>(t)].run = [t, inner = def.run] {
+        SSTAR_AUDIT_TASK(t);
+        inner();
+      };
+    }
+#else
     tasks[static_cast<std::size_t>(t)].run = def.run;
+#endif
     tasks[static_cast<std::size_t>(t)].affinity = def.proc;
   }
 

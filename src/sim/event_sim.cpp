@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/access_log.hpp"
 #include "util/check.hpp"
 
 namespace sstar::sim {
@@ -88,7 +89,10 @@ SimulationResult simulate(const ParallelProgram& prog,
     res.busy[def.proc] += dur;
     res.total_work += dur;
     res.makespan = std::max(res.makespan, res.finish[t]);
-    if (def.run) def.run();
+    if (def.run) {
+      SSTAR_AUDIT_TASK(t);
+      def.run();
+    }
     ++done;
 
     for (const int mi : in_msgs[t]) {

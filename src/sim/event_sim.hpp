@@ -22,6 +22,18 @@ namespace sstar::sim {
 
 using TaskId = int;
 
+/// One LU kernel a task stands for: Factor(k) or the combined
+/// ScaleSwap(k, j) + Update(k, j). Program builders attach these
+/// descriptors alongside the numeric closures so the dependence auditor
+/// (analysis/audit.hpp) can derive the task's block access set without
+/// executing anything.
+struct KernelCall {
+  enum class Kind { kFactor, kUpdate };
+  Kind kind = Kind::kFactor;
+  int k = 0;  ///< source supernode (elimination stage)
+  int j = 0;  ///< target column block (== k for Factor)
+};
+
 struct TaskDef {
   int proc = 0;             ///< owning virtual processor
   double seconds = 0.0;     ///< modeled execution time
@@ -29,6 +41,7 @@ struct TaskDef {
   int stage = -1;           ///< elimination step k (metrics); -1 = none
   int kind = 0;             ///< caller-defined tag (metrics filtering)
   std::function<void()> run;///< optional numeric payload
+  std::vector<KernelCall> kernels = {};  ///< LU kernels this task performs
 };
 
 struct MessageDef {
