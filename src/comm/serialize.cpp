@@ -1,0 +1,102 @@
+#include "comm/serialize.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace sstar::comm {
+
+namespace {
+
+// 'SPNL' — S* panel. Bumped if the wire format ever changes.
+constexpr std::uint32_t kMagic = 0x53504E4Cu;
+
+struct Header {
+  std::uint32_t magic = kMagic;
+  std::int32_t k = 0;   // supernode id
+  std::int32_t w = 0;   // block width
+  std::int32_t nr = 0;  // L panel rows
+};
+
+template <typename T>
+void append(std::vector<std::uint8_t>& out, const T* data, std::size_t n) {
+  const std::size_t at = out.size();
+  out.resize(at + n * sizeof(T));
+  if (n > 0) std::memcpy(out.data() + at, data, n * sizeof(T));
+}
+
+template <typename T>
+const std::uint8_t* consume(const std::uint8_t* in, T* data, std::size_t n) {
+  if (n > 0) std::memcpy(data, in, n * sizeof(T));
+  return in + n * sizeof(T);
+}
+
+}  // namespace
+
+std::size_t factor_panel_bytes(const BlockLayout& layout, int k) {
+  const std::size_t w = static_cast<std::size_t>(layout.width(k));
+  const std::size_t nr = layout.panel_rows(k).size();
+  return sizeof(Header) + w * sizeof(std::int32_t) +
+         (w * w + nr * w) * sizeof(double);
+}
+
+std::vector<std::uint8_t> serialize_factor_panel(const SStarNumeric& numeric,
+                                                 int k) {
+  const BlockLayout& lay = numeric.layout();
+  SSTAR_CHECK(k >= 0 && k < lay.num_blocks());
+  const int w = lay.width(k);
+  const std::size_t nr = lay.panel_rows(k).size();
+
+  Header h;
+  h.k = k;
+  h.w = w;
+  h.nr = static_cast<std::int32_t>(nr);
+
+  std::vector<std::uint8_t> out;
+  out.reserve(factor_panel_bytes(lay, k));
+  append(out, &h, 1);
+
+  std::vector<std::int32_t> piv(static_cast<std::size_t>(w));
+  const int base = lay.start(k);
+  for (int i = 0; i < w; ++i) {
+    const int t = numeric.pivot_of_col()[static_cast<std::size_t>(base + i)];
+    SSTAR_CHECK_MSG(t >= 0, "serialize_factor_panel(" << k
+                                                      << ") before Factor");
+    piv[static_cast<std::size_t>(i)] = t;
+  }
+  append(out, piv.data(), piv.size());
+
+  const BlockMatrix& data = numeric.data();
+  append(out, data.diag(k), static_cast<std::size_t>(w) * w);
+  append(out, data.l_panel(k), nr * static_cast<std::size_t>(w));
+  return out;
+}
+
+void apply_factor_panel(SStarNumeric& numeric, int k,
+                        const std::uint8_t* bytes, std::size_t size) {
+  const BlockLayout& lay = numeric.layout();
+  SSTAR_CHECK(k >= 0 && k < lay.num_blocks());
+  SSTAR_CHECK_MSG(size == factor_panel_bytes(lay, k),
+                  "factor panel for block " << k << ": got " << size
+                                            << " bytes, expected "
+                                            << factor_panel_bytes(lay, k));
+  Header h;
+  const std::uint8_t* in = consume(bytes, &h, 1);
+  SSTAR_CHECK_MSG(h.magic == kMagic, "factor panel: bad magic");
+  SSTAR_CHECK_MSG(h.k == k, "factor panel: tagged for block "
+                                << h.k << ", applied to block " << k);
+  const int w = lay.width(k);
+  const std::size_t nr = lay.panel_rows(k).size();
+  SSTAR_CHECK(h.w == w && h.nr == static_cast<std::int32_t>(nr));
+
+  std::vector<std::int32_t> piv(static_cast<std::size_t>(w));
+  in = consume(in, piv.data(), piv.size());
+  std::vector<int> rows(piv.begin(), piv.end());
+
+  BlockMatrix& data = numeric.data();
+  in = consume(in, data.diag(k), static_cast<std::size_t>(w) * w);
+  consume(in, data.l_panel(k), nr * static_cast<std::size_t>(w));
+  numeric.adopt_pivots(k, rows.data());
+}
+
+}  // namespace sstar::comm

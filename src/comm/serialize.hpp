@@ -1,0 +1,39 @@
+// Byte-counted serialization of the Factor(k) broadcast payload.
+//
+// The only data the paper's SPMD LU programs ever communicate is the
+// outcome of Factor(k): the factored diagonal block, the L panel of
+// supernode k, and the block's pivot (row-interchange) sequence — the
+// "column block k + pivot sequence" broadcast of Fig. 10 and the
+// L/pivot multicasts of the 2D code. This module packs exactly that
+// into a flat byte buffer and applies a received buffer into a rank's
+// local storage, marking block k factored so the ScaleSwap/Update
+// kernels accept it as input.
+//
+// The byte layout is versioned by a magic word and fully validated on
+// apply (magic, block id, dimensions against the receiver's layout), so
+// a mismatched or truncated message fails loudly instead of corrupting
+// a factorization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/numeric.hpp"
+
+namespace sstar::comm {
+
+/// Exact wire size in bytes of the Factor(k) payload for this layout.
+std::size_t factor_panel_bytes(const BlockLayout& layout, int k);
+
+/// Pack block k's factored diagonal, L panel, and pivot sequence.
+/// Requires Factor(k) to have run in `numeric`.
+std::vector<std::uint8_t> serialize_factor_panel(const SStarNumeric& numeric,
+                                                 int k);
+
+/// Unpack a received Factor(k) payload into `numeric`'s storage: writes
+/// diag(k), l_panel(k), the pivot entries of block k's columns, and
+/// marks the block factored. Throws CheckError on any mismatch.
+void apply_factor_panel(SStarNumeric& numeric, int k,
+                        const std::uint8_t* bytes, std::size_t size);
+
+}  // namespace sstar::comm

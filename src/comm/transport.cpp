@@ -1,0 +1,168 @@
+#include "comm/transport.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sstar::comm {
+
+InProcTransport::InProcTransport(int ranks, double watchdog_seconds)
+    : box_(static_cast<std::size_t>(ranks)),
+      stats_(static_cast<std::size_t>(ranks)),
+      finished_(static_cast<std::size_t>(ranks), 0),
+      watchdog_seconds_(watchdog_seconds) {
+  SSTAR_CHECK(ranks > 0);
+  SSTAR_CHECK(watchdog_seconds > 0.0);
+}
+
+std::deque<Message>::iterator InProcTransport::find_match(Mailbox& mb,
+                                                          int src, int tag) {
+  for (auto it = mb.q.begin(); it != mb.q.end(); ++it) {
+    if ((src == kAnySource || it->src == src) &&
+        (tag == kAnyTag || it->tag == tag))
+      return it;  // first match = oldest: FIFO per (src, dst, tag)
+  }
+  return mb.q.end();
+}
+
+std::string InProcTransport::dump_locked() const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < box_.size(); ++r) {
+    os << "\n  rank " << r << ": ";
+    if (box_[r].waiting) {
+      os << "blocked in recv(src=";
+      if (box_[r].want_src == kAnySource)
+        os << "any";
+      else
+        os << box_[r].want_src;
+      os << ", tag=";
+      if (box_[r].want_tag == kAnyTag)
+        os << "any";
+      else
+        os << box_[r].want_tag;
+      os << "), " << box_[r].q.size() << " unmatched message(s) queued";
+    } else if (finished_[r]) {
+      os << "finished";
+    } else {
+      os << "running";
+    }
+  }
+  return os.str();
+}
+
+bool InProcTransport::deadlock_locked() {
+  int live_waiting = 0;
+  for (std::size_t r = 0; r < box_.size(); ++r) {
+    if (finished_[r]) continue;
+    Mailbox& mb = box_[r];
+    if (!mb.waiting) return false;  // a rank is still making progress
+    if (find_match(mb, mb.want_src, mb.want_tag) != mb.q.end())
+      return false;  // it was notified and will consume this on wake-up
+    ++live_waiting;
+  }
+  return live_waiting > 0;
+}
+
+void InProcTransport::abort_locked(bool deadlock, const std::string& reason) {
+  if (aborted_) return;  // first reason wins
+  aborted_ = true;
+  aborted_deadlock_ = deadlock;
+  abort_reason_ = reason;
+  for (Mailbox& mb : box_) mb.cv.notify_all();
+}
+
+void InProcTransport::send(int src, int dst, int tag,
+                           std::vector<std::uint8_t> payload) {
+  SSTAR_CHECK(dst >= 0 && dst < ranks());
+  SSTAR_CHECK(src >= 0 && src < ranks());
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (aborted_) throw TransportError(abort_reason_);
+  stats_[static_cast<std::size_t>(src)].messages_sent += 1;
+  stats_[static_cast<std::size_t>(src)].bytes_sent +=
+      static_cast<std::int64_t>(payload.size());
+  Mailbox& mb = box_[static_cast<std::size_t>(dst)];
+  mb.q.push_back(Message{src, tag, std::move(payload)});
+  mb.cv.notify_all();
+}
+
+Message InProcTransport::recv(int rank, int src, int tag) {
+  SSTAR_CHECK(rank >= 0 && rank < ranks());
+  std::unique_lock<std::mutex> lock(mu_);
+  Mailbox& mb = box_[static_cast<std::size_t>(rank)];
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(watchdog_seconds_));
+  for (;;) {
+    if (aborted_) {
+      if (aborted_deadlock_) throw DeadlockError(abort_reason_);
+      throw TransportError(abort_reason_);
+    }
+    const auto it = find_match(mb, src, tag);
+    if (it != mb.q.end()) {
+      Message m = std::move(*it);
+      mb.q.erase(it);
+      stats_[static_cast<std::size_t>(rank)].messages_received += 1;
+      stats_[static_cast<std::size_t>(rank)].bytes_received +=
+          static_cast<std::int64_t>(m.payload.size());
+      return m;
+    }
+
+    mb.waiting = true;
+    mb.want_src = src;
+    mb.want_tag = tag;
+    if (deadlock_locked()) {
+      // Sends never block, so every live rank blocked in recv with no
+      // satisfiable message queued means no message can ever arrive
+      // again: certain deadlock, right now.
+      abort_locked(/*deadlock=*/true,
+                   "message-passing deadlock: every live rank is blocked "
+                   "in recv" + dump_locked());
+    } else if (mb.cv.wait_until(lock, deadline) ==
+               std::cv_status::timeout &&
+               find_match(mb, src, tag) == mb.q.end() && !aborted_) {
+      std::ostringstream os;
+      os << "recv watchdog expired after " << watchdog_seconds_
+         << "s on rank " << rank << dump_locked();
+      abort_locked(/*deadlock=*/true, os.str());
+    }
+    mb.waiting = false;
+    // Loop: either aborted (throw above) or re-scan for the message
+    // whose arrival woke us.
+  }
+}
+
+bool InProcTransport::probe(int rank, int src, int tag) {
+  SSTAR_CHECK(rank >= 0 && rank < ranks());
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (aborted_) throw TransportError(abort_reason_);
+  Mailbox& mb = box_[static_cast<std::size_t>(rank)];
+  return find_match(mb, src, tag) != mb.q.end();
+}
+
+void InProcTransport::finish(int rank) {
+  SSTAR_CHECK(rank >= 0 && rank < ranks());
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (finished_[static_cast<std::size_t>(rank)]) return;
+  finished_[static_cast<std::size_t>(rank)] = 1;
+  ++num_finished_;
+  if (num_finished_ < ranks() && deadlock_locked()) {
+    abort_locked(/*deadlock=*/true,
+                 "message-passing deadlock: remaining ranks wait on "
+                 "finished peers" + dump_locked());
+  }
+}
+
+void InProcTransport::abort(const std::string& reason) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  abort_locked(/*deadlock=*/false, reason);
+}
+
+RankCommStats InProcTransport::stats(int rank) const {
+  SSTAR_CHECK(rank >= 0 && rank < ranks());
+  const std::lock_guard<std::mutex> lock(mu_);
+  return stats_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace sstar::comm

@@ -1,0 +1,159 @@
+// In-process message-passing transport — the runtime substrate of the
+// rank-per-thread SPMD executor (exec/lu_mp).
+//
+// The paper's programs run on Cray T3D/T3E remote-memory puts; SuperLU's
+// descendants run on MPI. This module provides the same abstraction at
+// library scale: every rank owns a mailbox, send() deposits a tagged,
+// byte-counted message into the destination's mailbox, recv() blocks
+// until a matching message exists, probe() tests without blocking.
+// Matching is MPI-like — by (source, tag), with kAnySource / kAnyTag
+// wildcards — and delivery is FIFO per (source, destination, tag), the
+// ordering guarantee the factor-panel pipeline relies on.
+//
+// `Transport` is the seam where a real MPI backend plugs in later: the
+// executor only ever talks to this interface. `InProcTransport` is the
+// shipped implementation, ranks being threads of one process.
+//
+// Deadlock watchdog: a blocking recv can never hang CI. The transport
+// detects true deadlock EXACTLY and immediately — all unfinished ranks
+// blocked in recv means no message can ever arrive (sends never block)
+// — and additionally enforces a wall-clock bound per blocked recv. In
+// both cases every blocked rank throws DeadlockError whose message
+// carries a per-rank dump: who is blocked on which (source, tag), who
+// finished, who is still running.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sstar::comm {
+
+/// Wildcards for recv/probe matching (MPI_ANY_SOURCE / MPI_ANY_TAG).
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// One delivered message: who sent it, the tag it was sent under, and
+/// the payload bytes.
+struct Message {
+  int src = 0;
+  int tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Base error for transport failures (abort propagation from a peer
+/// rank, send after shutdown, ...).
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Thrown out of recv() when the transport proves no matching message
+/// can ever arrive (all live ranks blocked) or the watchdog bound
+/// expires. what() contains the per-rank blocked-recv dump.
+class DeadlockError : public TransportError {
+ public:
+  explicit DeadlockError(const std::string& what) : TransportError(what) {}
+};
+
+/// Per-rank traffic counters.
+struct RankCommStats {
+  std::int64_t messages_sent = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t messages_received = 0;
+  std::int64_t bytes_received = 0;
+};
+
+/// Abstract point-to-point transport. All calls are thread-safe; each
+/// rank is expected to be driven by one thread, but nothing enforces
+/// that. This is the interface a future MPI backend implements.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int ranks() const = 0;
+
+  /// Deposit a tagged message into dst's mailbox. Never blocks
+  /// (unbounded mailboxes). Throws TransportError after an abort.
+  virtual void send(int src, int dst, int tag,
+                    std::vector<std::uint8_t> payload) = 0;
+
+  /// Block until a message matching (src, tag) — wildcards allowed — is
+  /// available in `rank`'s mailbox, then remove and return it. Throws
+  /// DeadlockError when progress is provably impossible or the watchdog
+  /// expires, TransportError after an abort.
+  virtual Message recv(int rank, int src, int tag) = 0;
+
+  /// True iff a matching message is available right now (non-blocking).
+  virtual bool probe(int rank, int src, int tag) = 0;
+
+  /// Mark `rank`'s program as complete. Required for exact deadlock
+  /// detection: a finished rank will never send again.
+  virtual void finish(int rank) = 0;
+
+  /// Poison the transport: every blocked or future call throws
+  /// TransportError carrying `reason`. Used to propagate a rank's
+  /// failure instead of leaving its peers blocked forever.
+  virtual void abort(const std::string& reason) = 0;
+
+  virtual RankCommStats stats(int rank) const = 0;
+};
+
+/// The in-process implementation: per-rank mailboxes guarded by one
+/// mutex (message counts are small — one factor-panel broadcast per
+/// elimination stage — so a single lock is not a bottleneck), one
+/// condition variable per rank.
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(int ranks, double watchdog_seconds = 120.0);
+
+  int ranks() const override { return static_cast<int>(box_.size()); }
+  void send(int src, int dst, int tag,
+            std::vector<std::uint8_t> payload) override;
+  Message recv(int rank, int src, int tag) override;
+  bool probe(int rank, int src, int tag) override;
+  void finish(int rank) override;
+  void abort(const std::string& reason) override;
+  RankCommStats stats(int rank) const override;
+
+ private:
+  struct Mailbox {
+    std::deque<Message> q;
+    std::condition_variable cv;
+    bool waiting = false;   // blocked in recv right now
+    int want_src = kAnySource;
+    int want_tag = kAnyTag;
+  };
+
+  // Requires mu_ held. Returns q.end() when nothing matches.
+  static std::deque<Message>::iterator find_match(Mailbox& mb, int src,
+                                                  int tag);
+  // Requires mu_ held. The per-rank state dump for error messages.
+  std::string dump_locked() const;
+  // Requires mu_ held. True iff deadlock is PROVEN: every unfinished
+  // rank sits in recv and none of them has a satisfiable match queued.
+  // The queue check matters — a rank stays flagged `waiting` from the
+  // moment it enters the wait until it re-acquires the mutex after
+  // being notified, so "everyone waiting" alone is not proof while a
+  // freshly delivered message is still unconsumed.
+  bool deadlock_locked();
+  // Requires mu_ held. Poison + wake everyone.
+  void abort_locked(bool deadlock, const std::string& reason);
+
+  mutable std::mutex mu_;
+  std::vector<Mailbox> box_;
+  std::vector<RankCommStats> stats_;
+  std::vector<char> finished_;
+  int num_finished_ = 0;
+  bool aborted_ = false;
+  bool aborted_deadlock_ = false;
+  std::string abort_reason_;
+  double watchdog_seconds_;
+};
+
+}  // namespace sstar::comm

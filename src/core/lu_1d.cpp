@@ -2,6 +2,7 @@
 
 #include "core/task_model.hpp"
 #include "exec/lu_real.hpp"
+#include "sim/comm_plan.hpp"
 #include "util/check.hpp"
 
 namespace sstar {
@@ -64,6 +65,10 @@ sim::ParallelProgram build_1d_program(const LuTaskGraph& graph,
       prog.add_dependency(sim_id[e.from], sim_id[e.to]);
     }
   }
+  // Message-passing execution (exec/lu_mp) interprets explicit send/recv
+  // descriptors; 1D mappings broadcast each factor panel by direct
+  // fan-out from the owning rank.
+  sim::attach_panel_comms(prog);
   return prog;
 }
 
@@ -105,6 +110,22 @@ exec::ExecStats run_1d_real(const BlockLayout& layout,
   const sim::ParallelProgram prog =
       build_1d_program(graph, schedule, machine, &numeric);
   return exec::execute_program(prog, threads);
+}
+
+exec::MpStats run_1d_mp(const BlockLayout& layout,
+                        const sim::MachineModel& machine, Schedule1DKind kind,
+                        const SparseMatrix& a, SStarNumeric& result,
+                        const exec::MpOptions& opt) {
+  const LuTaskGraph graph(layout);
+  const sched::Schedule1D schedule =
+      kind == Schedule1DKind::kComputeAhead
+          ? sched::compute_ahead_schedule(graph, machine.processors)
+          : sched::graph_schedule(graph, machine);
+  // No numeric closures: the MP executor interprets the KernelCall
+  // descriptors against each rank's private replica.
+  const sim::ParallelProgram prog =
+      build_1d_program(graph, schedule, machine, nullptr);
+  return exec::execute_program_mp(prog, a, result, opt);
 }
 
 }  // namespace sstar

@@ -13,6 +13,7 @@
 #include "core/numeric.hpp"
 #include "core/parallel_run.hpp"
 #include "exec/executor.hpp"
+#include "exec/lu_mp.hpp"
 #include "sched/list_schedule.hpp"
 #include "sim/event_sim.hpp"
 
@@ -47,5 +48,15 @@ exec::ExecStats run_1d_real(const BlockLayout& layout,
                             const sim::MachineModel& machine,
                             Schedule1DKind kind, SStarNumeric& numeric,
                             int threads = 0);
+
+/// Message-passing execution (exec/lu_mp): build the SAME 1D program,
+/// then run it with one thread per virtual processor, private numeric
+/// replicas, and real factor-panel sends/receives over an in-process
+/// transport. `machine.processors` is the rank count; `result` receives
+/// the merged factors, bitwise-identical to a sequential factorize().
+exec::MpStats run_1d_mp(const BlockLayout& layout,
+                        const sim::MachineModel& machine, Schedule1DKind kind,
+                        const SparseMatrix& a, SStarNumeric& result,
+                        const exec::MpOptions& opt = {});
 
 }  // namespace sstar

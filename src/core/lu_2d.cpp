@@ -4,6 +4,7 @@
 
 #include "core/task_model.hpp"
 #include "exec/lu_real.hpp"
+#include "sim/comm_plan.hpp"
 #include "util/check.hpp"
 
 namespace sstar {
@@ -295,7 +296,12 @@ sim::ParallelProgram build_2d_program(const BlockLayout& layout,
                                       bool async, SStarNumeric* numeric) {
   SSTAR_CHECK(machine.grid.size() == machine.processors);
   Builder b(layout, machine, async, numeric);
-  return b.build();
+  sim::ParallelProgram prog = b.build();
+  // Message-passing execution (exec/lu_mp) interprets explicit send/recv
+  // descriptors; on a grid the factor-panel multicast is row-grouped
+  // (owner -> row leader -> row peers).
+  sim::attach_panel_comms(prog, machine.grid);
+  return prog;
 }
 
 ParallelRunResult run_2d(const BlockLayout& layout,
@@ -325,6 +331,17 @@ exec::ExecStats run_2d_real(const BlockLayout& layout,
   const sim::ParallelProgram prog =
       build_2d_program(layout, machine, async, &numeric);
   return exec::execute_program(prog, threads);
+}
+
+exec::MpStats run_2d_mp(const BlockLayout& layout,
+                        const sim::MachineModel& machine, bool async,
+                        const SparseMatrix& a, SStarNumeric& result,
+                        const exec::MpOptions& opt) {
+  // No numeric closures: the MP executor interprets the KernelCall
+  // descriptors against each rank's private replica.
+  const sim::ParallelProgram prog =
+      build_2d_program(layout, machine, async, nullptr);
+  return exec::execute_program_mp(prog, a, result, opt);
 }
 
 }  // namespace sstar

@@ -27,6 +27,7 @@
 #include "core/numeric.hpp"
 #include "core/parallel_run.hpp"
 #include "exec/executor.hpp"
+#include "exec/lu_mp.hpp"
 #include "sim/event_sim.hpp"
 
 namespace sstar {
@@ -51,5 +52,15 @@ ParallelRunResult run_2d(const BlockLayout& layout,
 exec::ExecStats run_2d_real(const BlockLayout& layout,
                             const sim::MachineModel& machine, bool async,
                             SStarNumeric& numeric, int threads = 0);
+
+/// Message-passing execution (exec/lu_mp): run the SAME 2D SPMD program
+/// with one thread per grid position, private numeric replicas, and
+/// real factor-panel multicasts (owner -> row leader -> row peers) over
+/// an in-process transport. `result` receives the merged factors,
+/// bitwise-identical to a sequential factorize().
+exec::MpStats run_2d_mp(const BlockLayout& layout,
+                        const sim::MachineModel& machine, bool async,
+                        const SparseMatrix& a, SStarNumeric& result,
+                        const exec::MpOptions& opt = {});
 
 }  // namespace sstar

@@ -121,6 +121,19 @@ void SStarNumeric::factor_block(int k) {
   stats_.off_diagonal_pivots += off_diagonal_pivots;
 }
 
+void SStarNumeric::adopt_pivots(int k, const int* rows) {
+  const BlockLayout& lay = *layout_;
+  const int base = lay.start(k);
+  const int w = lay.width(k);
+  for (int i = 0; i < w; ++i) {
+    SSTAR_CHECK_MSG(rows[i] >= base && rows[i] < lay.n(),
+                    "adopt_pivots(" << k << "): pivot row " << rows[i]
+                                    << " outside the active region");
+    pivot_of_col_[static_cast<std::size_t>(base + i)] = rows[i];
+  }
+  factored_[static_cast<std::size_t>(k)] = 1;
+}
+
 // A row's stored cells within one column block: cells[i] sits at
 // ptr[i * stride] and holds global column cols[i] (cols is sorted).
 struct SStarNumeric::RowSlice {

@@ -84,6 +84,13 @@ class SStarNumeric {
   /// diagonal won the pivot search).
   const std::vector<int>& pivot_of_col() const { return pivot_of_col_; }
 
+  /// Install block k's pivot sequence (`rows[i]` = pivot row of column
+  /// start(k)+i) and mark the block factored. This is how a received
+  /// Factor(k) broadcast enters a rank-local replica in the
+  /// message-passing runtime (comm/serialize), and how the merged
+  /// result of a distributed run regains a complete pivot vector.
+  void adopt_pivots(int k, const int* rows);
+
   const FactorStats& stats() const { return stats_; }
 
   /// Element-growth factor max_ij |u_ij| / max_ij |a_ij| after

@@ -1,0 +1,210 @@
+#include "exec/lu_mp.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "analysis/access_log.hpp"
+#include "comm/serialize.hpp"
+#include "sim/comm_plan.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace sstar::exec {
+
+namespace {
+
+// Overwrite every storage cell of the column blocks `rank` does NOT own
+// with NaN. Column block j's matrix-columns are diag(j), l_panel(j),
+// and the column-of-j slice of u_panel(i) for every U block (i, j); the
+// owner-computes discipline says no kernel on this rank ever reads
+// them, and poisoning turns a violation into a loud bitwise mismatch
+// instead of a silent coincidence. Received factor panels overwrite the
+// poison for exactly the blocks the plan delivers.
+void poison_unowned_columns(SStarNumeric& num, const std::vector<int>& owner,
+                            int rank) {
+  const BlockLayout& lay = num.layout();
+  BlockMatrix& d = num.data();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int b = 0; b < lay.num_blocks(); ++b) {
+    if (owner[static_cast<std::size_t>(b)] != rank) {
+      const int w = lay.width(b);
+      std::fill_n(d.diag(b), static_cast<std::size_t>(d.diag_ld(b)) * w, nan);
+      std::fill_n(d.l_panel(b), static_cast<std::size_t>(d.l_ld(b)) * w, nan);
+    }
+    for (const BlockRef& ref : lay.u_blocks(b)) {
+      if (owner[static_cast<std::size_t>(ref.block)] == rank) continue;
+      std::fill_n(d.u_panel(b) +
+                      static_cast<std::ptrdiff_t>(ref.offset) * d.u_ld(b),
+                  static_cast<std::size_t>(ref.count) * d.u_ld(b), nan);
+    }
+  }
+}
+
+// One rank's SPMD program: program order, blocking receives at first
+// use, kernel interpretation against the local replica.
+//
+// Deadlock freedom (why recv-at-first-use cannot cycle): schedules
+// respect the task DAG, so a rank blocked at task T waiting for panel k
+// waits on Factor(k), whose scheduled position precedes T's; Factor(k)
+// in turn waits only on tasks with strictly earlier positions (each
+// task consumes at most one panel, and a leader's forwarding sends ride
+// directly behind its own receive). Every wait chain therefore
+// descends a well-founded order of (scheduled position, multicast hop)
+// and grounds out in some Factor task with no unmet needs.
+void run_rank(const sim::ParallelProgram& prog, int rank, SStarNumeric& num,
+              const SparseMatrix& a, const std::vector<int>& owner,
+              comm::Transport& tp) {
+  num.assemble(a);
+  poison_unowned_columns(num, owner, rank);
+
+  for (const sim::TaskId t : prog.proc_order(rank)) {
+    const sim::TaskDef& def = prog.task(t);
+    if (def.kernels.empty() && def.pre_comms.empty() &&
+        def.post_comms.empty())
+      continue;  // modeling-only task (work shares, barriers)
+    SSTAR_AUDIT_TASK(t);
+    for (const sim::CommOp& op : def.pre_comms) {
+      if (op.kind == sim::CommOp::Kind::kRecv) {
+        const comm::Message m = tp.recv(rank, op.peer, op.k);
+        comm::apply_factor_panel(num, op.k, m.payload.data(),
+                                 m.payload.size());
+      } else {
+        tp.send(rank, op.peer, op.k, comm::serialize_factor_panel(num, op.k));
+      }
+    }
+    for (const sim::KernelCall& kc : def.kernels) {
+      if (kc.kind == sim::KernelCall::Kind::kFactor) {
+        num.factor_block(kc.k);
+      } else {
+        num.scale_swap(kc.k, kc.j);
+        num.update_block(kc.k, kc.j);
+      }
+    }
+    for (const sim::CommOp& op : def.post_comms) {
+      if (op.kind == sim::CommOp::Kind::kSend) {
+        tp.send(rank, op.peer, op.k, comm::serialize_factor_panel(num, op.k));
+      } else {
+        const comm::Message m = tp.recv(rank, op.peer, op.k);
+        comm::apply_factor_panel(num, op.k, m.payload.data(),
+                                 m.payload.size());
+      }
+    }
+  }
+  tp.finish(rank);
+}
+
+}  // namespace
+
+std::int64_t MpStats::total_messages() const {
+  std::int64_t n = 0;
+  for (const comm::RankCommStats& s : rank_stats) n += s.messages_sent;
+  return n;
+}
+
+std::int64_t MpStats::total_bytes() const {
+  std::int64_t n = 0;
+  for (const comm::RankCommStats& s : rank_stats) n += s.bytes_sent;
+  return n;
+}
+
+MpStats execute_program_mp(const sim::ParallelProgram& prog,
+                           const SparseMatrix& a, SStarNumeric& result,
+                           const MpOptions& opt) {
+  const BlockLayout& lay = result.layout();
+  const int ranks = prog.processors();
+
+  const std::vector<int> owner = sim::panel_owners(prog);
+  SSTAR_CHECK_MSG(static_cast<int>(owner.size()) == lay.num_blocks(),
+                  "program kernels cover " << owner.size() << " supernodes, "
+                                           << "layout has "
+                                           << lay.num_blocks());
+  for (int k = 0; k < lay.num_blocks(); ++k)
+    SSTAR_CHECK_MSG(owner[static_cast<std::size_t>(k)] >= 0,
+                    "no rank factors supernode " << k);
+
+  std::unique_ptr<comm::InProcTransport> own_tp;
+  comm::Transport* tp = opt.transport;
+  if (tp == nullptr) {
+    own_tp =
+        std::make_unique<comm::InProcTransport>(ranks, opt.watchdog_seconds);
+    tp = own_tp.get();
+  }
+  SSTAR_CHECK_MSG(tp->ranks() == ranks, "transport has " << tp->ranks()
+                                                         << " ranks, program "
+                                                         << ranks);
+
+  // Private replica per rank: the rank's "local memory".
+  std::vector<std::unique_ptr<SStarNumeric>> replicas;
+  replicas.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r)
+    replicas.push_back(std::make_unique<SStarNumeric>(lay));
+
+  std::mutex err_mu;
+  std::exception_ptr root_cause;       // a rank's own failure
+  std::exception_ptr any_failure;      // incl. abort propagation
+  WallTimer timer;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        run_rank(prog, r, *replicas[static_cast<std::size_t>(r)], a, owner,
+                 *tp);
+      } catch (const comm::TransportError&) {
+        const std::lock_guard<std::mutex> lock(err_mu);
+        if (!any_failure) any_failure = std::current_exception();
+      } catch (const std::exception& e) {
+        {
+          const std::lock_guard<std::mutex> lock(err_mu);
+          if (!root_cause) root_cause = std::current_exception();
+        }
+        std::ostringstream os;
+        os << "rank " << r << " failed: " << e.what();
+        tp->abort(os.str());
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  const double seconds = timer.seconds();
+
+  if (root_cause) std::rethrow_exception(root_cause);
+  if (any_failure) std::rethrow_exception(any_failure);
+
+  // Merge: each supernode's factor columns from their owner's replica.
+  // All slices are contiguous storage runs, so the copies are bitwise.
+  result.assemble(a);
+  BlockMatrix& out = result.data();
+  for (int k = 0; k < lay.num_blocks(); ++k) {
+    const SStarNumeric& src = *replicas[static_cast<std::size_t>(
+        owner[static_cast<std::size_t>(k)])];
+    const int w = lay.width(k);
+    std::memcpy(out.diag(k), src.data().diag(k),
+                static_cast<std::size_t>(out.diag_ld(k)) * w * sizeof(double));
+    std::memcpy(out.l_panel(k), src.data().l_panel(k),
+                static_cast<std::size_t>(out.l_ld(k)) * w * sizeof(double));
+    result.adopt_pivots(k, src.pivot_of_col().data() + lay.start(k));
+    for (const BlockRef& ref : lay.u_blocks(k)) {
+      const SStarNumeric& col_owner = *replicas[static_cast<std::size_t>(
+          owner[static_cast<std::size_t>(ref.block)])];
+      const std::ptrdiff_t off =
+          static_cast<std::ptrdiff_t>(ref.offset) * out.u_ld(k);
+      std::memcpy(out.u_panel(k) + off, col_owner.data().u_panel(k) + off,
+                  static_cast<std::size_t>(ref.count) * out.u_ld(k) *
+                      sizeof(double));
+    }
+  }
+
+  MpStats stats;
+  stats.seconds = seconds;
+  stats.rank_stats.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) stats.rank_stats.push_back(tp->stats(r));
+  return stats;
+}
+
+}  // namespace sstar::exec

@@ -1,0 +1,71 @@
+// Rank-per-thread SPMD message-passing execution of built LU programs.
+//
+// This is the distributed-memory execution model the paper actually
+// targets, realized in one process: every virtual processor of a
+// ParallelProgram becomes a RANK driven by its own thread, owning a
+// private SStarNumeric replica in which only its mapped column blocks
+// are valid (everything unowned is poisoned with NaN, so an undeclared
+// remote read cannot go unnoticed — it corrupts the factors and the
+// bitwise differential tests catch it). Ranks share no numeric state;
+// the ONLY way data moves is the transport:
+//
+//   Factor(k)    — runs on owner(k); its post_comms send the serialized
+//                  panel (diag + L panel + pivot sequence, comm/serialize)
+//                  to every consumer per the plan of sim/comm_plan;
+//   Update(k,j)  — blocks in recv() at the consuming rank's first use of
+//                  panel k, applies the payload into the local replica,
+//                  then executes ScaleSwap+Update against local storage.
+//
+// Because every rank executes its program order and the per-column
+// kernel sequence equals the sequential one, the merged factors are
+// bitwise-identical to SStarNumeric::factorize() at ANY rank count —
+// the property the differential test harness (tests/test_mp_*)
+// enforces.
+//
+// Failure handling: a rank that throws (kernel check, bad payload)
+// aborts the transport, so every peer blocked in recv() unblocks with a
+// TransportError instead of hanging; the first root cause is rethrown
+// to the caller. Provable deadlocks (all live ranks blocked) surface as
+// DeadlockError with a per-rank dump — see comm/transport.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/transport.hpp"
+#include "core/numeric.hpp"
+#include "matrix/sparse.hpp"
+#include "sim/event_sim.hpp"
+
+namespace sstar::exec {
+
+struct MpOptions {
+  /// Wall-clock bound per blocked recv before the transport declares a
+  /// hang (only reached when progress stalls without a provable
+  /// deadlock, e.g. a wedged peer thread).
+  double watchdog_seconds = 120.0;
+  /// Plug in an external transport (the MPI seam). Must satisfy
+  /// ranks() == program processors; stats are read back from it.
+  /// nullptr = a fresh InProcTransport per call.
+  comm::Transport* transport = nullptr;
+};
+
+struct MpStats {
+  double seconds = 0.0;  ///< wall time, rank launch to last join
+  std::vector<comm::RankCommStats> rank_stats;
+  std::int64_t total_messages() const;
+  std::int64_t total_bytes() const;
+};
+
+/// Execute `prog` (built WITHOUT numeric closures; the kernels are
+/// interpreted from their KernelCall descriptors, and the comm plan
+/// must have been attached — both 1D and 2D builders do this) on one
+/// thread per rank. `a` is assembled per rank; `result` (constructed on
+/// the same layout) receives the merged factors: for each supernode the
+/// owner's diagonal/L panel/pivots and, per U block, the column-owner's
+/// slice. Throws on rank failure or deadlock; never hangs.
+MpStats execute_program_mp(const sim::ParallelProgram& prog,
+                           const SparseMatrix& a, SStarNumeric& result,
+                           const MpOptions& opt = {});
+
+}  // namespace sstar::exec

@@ -1,0 +1,52 @@
+// Communication planning for message-passing execution (exec/lu_mp).
+//
+// The paper's SPMD codes communicate exactly one thing: the outcome of
+// Factor(k) — column block k plus its pivot sequence (Fig. 10 line 04,
+// Fig. 13/14's L + pivot multicasts). Everything else is owner-computes
+// on column blocks, so a built ParallelProgram already contains all the
+// information needed to derive the message plan:
+//
+//  - the rank that executes the kFactor kernel of k owns panel k;
+//  - every rank whose kUpdate kernels consume panel k needs one copy,
+//    delivered before its FIRST consuming task (later uses on the same
+//    rank read the local copy — a broadcast, not one send per task).
+//
+// attach_panel_comms() walks each rank's program order once and attaches
+// CommOp descriptors to the tasks: panel sends ride as post_comms of the
+// Factor(k) task, receives as pre_comms of each rank's first consuming
+// task. On a 1D machine (1 x p grid) the owner fans out directly. On a
+// p_r x p_c grid the multicast is row-grouped: the owner sends one copy
+// per destination grid row to that row's leader (its lowest-ranked
+// consumer), which forwards to its row peers — the two-hop multicast
+// tree of §5.2's 2D code.
+//
+// Deadlock freedom: receives are blocking, so the plan must never make
+// rank A wait on a panel whose send transitively requires A to advance.
+// Every task in these programs consumes at most one panel, forwards ride
+// immediately behind the leader's receive, and the schedules respect the
+// task DAG, so every wait chain grounds out in a Factor task with a
+// strictly earlier scheduled position — see the proof sketch in
+// exec/lu_mp.cpp.
+#pragma once
+
+#include <vector>
+
+#include "sim/event_sim.hpp"
+
+namespace sstar::sim {
+
+/// owner[k] = rank executing the kFactor kernel of supernode k (-1 if
+/// the program has no Factor(k) task). Size = one entry per supernode
+/// mentioned by any kernel.
+std::vector<int> panel_owners(const ParallelProgram& prog);
+
+/// Attach panel send/recv descriptors to `prog`'s tasks (clearing any
+/// previously attached plan first). `grid` must satisfy
+/// grid.size() == prog.processors(); ranks are numbered row-major
+/// (rank = row * grid.cols + col), matching MachineModel grids.
+void attach_panel_comms(ParallelProgram& prog, const Grid& grid);
+
+/// Flat variant: a 1 x p grid, i.e. direct fan-out from each owner.
+void attach_panel_comms(ParallelProgram& prog);
+
+}  // namespace sstar::sim

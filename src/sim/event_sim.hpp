@@ -34,6 +34,19 @@ struct KernelCall {
   int j = 0;  ///< target column block (== k for Factor)
 };
 
+/// One point-to-point transfer in the message-passing execution of a
+/// task (exec/lu_mp): kSend posts block k's factor-panel payload to
+/// `peer`, kRecv blocks until that payload arrives from `peer`. The
+/// comm planner (sim/comm_plan) attaches these next to the KernelCall
+/// descriptors; the simulator ignores them (it has its own message
+/// edges), the MP executor interprets them against a real Transport.
+struct CommOp {
+  enum class Kind { kSend, kRecv };
+  Kind kind = Kind::kSend;
+  int peer = 0;  ///< destination rank (kSend) / source rank (kRecv)
+  int k = 0;     ///< supernode whose factor panel moves; also the tag
+};
+
 struct TaskDef {
   int proc = 0;             ///< owning virtual processor
   double seconds = 0.0;     ///< modeled execution time
@@ -42,6 +55,8 @@ struct TaskDef {
   int kind = 0;             ///< caller-defined tag (metrics filtering)
   std::function<void()> run;///< optional numeric payload
   std::vector<KernelCall> kernels = {};  ///< LU kernels this task performs
+  std::vector<CommOp> pre_comms = {};    ///< transfers before the kernels
+  std::vector<CommOp> post_comms = {};   ///< transfers after the kernels
 };
 
 struct MessageDef {
@@ -73,6 +88,9 @@ class ParallelProgram {
 
   std::size_t num_tasks() const { return tasks_.size(); }
   const TaskDef& task(TaskId t) const { return tasks_[t]; }
+  /// Mutable access for post-construction annotation passes (the comm
+  /// planner attaches pre/post CommOps to already-built programs).
+  TaskDef& mutable_task(TaskId t) { return tasks_[t]; }
 
   /// A processor's tasks in program order (exec/lu_real runs the same
   /// program on real threads; program order is a dependency there too).

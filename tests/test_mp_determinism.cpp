@@ -1,0 +1,168 @@
+// Rank-count determinism for the message-passing runtime (exec/lu_mp):
+// the merged factors must be bitwise-identical to the sequential
+// factorization at rank counts {1, 2, 4, 8}, on both the 1D
+// column-block mappings and the 2D block-cyclic grids, across repeated
+// runs, and on degenerate shapes — unit (1 x 1) blocks, a matrix
+// smaller than the rank count (most ranks idle), and a single-supernode
+// problem (no communication at all).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/lu_1d.hpp"
+#include "core/lu_2d.hpp"
+#include "exec/lu_real.hpp"
+#include "ordering/transversal.hpp"
+#include "supernode/partition.hpp"
+#include "symbolic/static_symbolic.hpp"
+#include "test_helpers.hpp"
+
+namespace sstar {
+namespace {
+
+struct Fixture {
+  SparseMatrix a;
+  StaticStructure s;
+  std::unique_ptr<BlockLayout> layout;
+
+  static Fixture make(int n, int extra, std::uint64_t seed, int mb = 8,
+                      int r = 4) {
+    Fixture f;
+    f.a = make_zero_free_diagonal(testing::random_sparse(n, extra, seed));
+    f.s = static_symbolic_factorization(f.a);
+    auto part = amalgamate(f.s, find_supernodes(f.s, mb), r, mb);
+    f.layout = std::make_unique<BlockLayout>(f.s, std::move(part));
+    return f;
+  }
+
+  std::unique_ptr<SStarNumeric> sequential() const {
+    auto num = std::make_unique<SStarNumeric>(*layout);
+    num->assemble(a);
+    num->factorize();
+    return num;
+  }
+};
+
+TEST(MpDeterminism, BitwiseIdenticalAcrossRankCounts1D) {
+  const auto f = Fixture::make(140, 5, 13, 10, 4);
+  const auto ref = f.sequential();
+  for (const int ranks : {1, 2, 4, 8}) {
+    const sim::MachineModel m = sim::MachineModel::cray_t3e(ranks);
+    for (const auto kind :
+         {Schedule1DKind::kComputeAhead, Schedule1DKind::kGraph}) {
+      SStarNumeric mp(*f.layout);
+      const exec::MpStats st = run_1d_mp(*f.layout, m, kind, f.a, mp);
+      EXPECT_TRUE(exec::factors_bitwise_equal(*ref, mp))
+          << ranks << " ranks, kind "
+          << (kind == Schedule1DKind::kComputeAhead ? "CA" : "graph");
+      EXPECT_EQ(mp.pivot_of_col(), ref->pivot_of_col());
+      EXPECT_EQ(static_cast<int>(st.rank_stats.size()), ranks);
+      if (ranks == 1) {
+        EXPECT_EQ(st.total_messages(), 0);
+      }
+    }
+  }
+}
+
+TEST(MpDeterminism, BitwiseIdenticalAcrossRankCounts2D) {
+  const auto f = Fixture::make(140, 5, 13, 10, 4);
+  const auto ref = f.sequential();
+  for (const int ranks : {1, 2, 4, 8}) {
+    const sim::MachineModel m = sim::MachineModel::cray_t3e(ranks);
+    for (const bool async : {true, false}) {
+      SStarNumeric mp(*f.layout);
+      const exec::MpStats st = run_2d_mp(*f.layout, m, async, f.a, mp);
+      EXPECT_TRUE(exec::factors_bitwise_equal(*ref, mp))
+          << ranks << " ranks, grid " << m.grid.rows << "x" << m.grid.cols
+          << (async ? " async" : " sync");
+      EXPECT_EQ(mp.pivot_of_col(), ref->pivot_of_col());
+      if (ranks == 1) {
+        EXPECT_EQ(st.total_messages(), 0);
+      }
+    }
+  }
+}
+
+TEST(MpDeterminism, ExplicitDegenerateGridShapes) {
+  const auto f = Fixture::make(110, 4, 37, 8, 4);
+  const auto ref = f.sequential();
+  for (const sim::Grid g : {sim::Grid{1, 4}, sim::Grid{4, 1},
+                            sim::Grid{2, 2}, sim::Grid{1, 1},
+                            sim::Grid{8, 1}}) {
+    const sim::MachineModel m =
+        sim::MachineModel::cray_t3e(g.size()).with_grid(g);
+    SStarNumeric mp(*f.layout);
+    run_2d_mp(*f.layout, m, /*async=*/true, f.a, mp);
+    EXPECT_TRUE(exec::factors_bitwise_equal(*ref, mp))
+        << "grid " << g.rows << "x" << g.cols;
+  }
+}
+
+TEST(MpDeterminism, RepeatedRunsIdentical) {
+  const auto f = Fixture::make(100, 4, 61, 8, 4);
+  const sim::MachineModel m = sim::MachineModel::cray_t3e(4);
+  std::unique_ptr<SStarNumeric> first;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto mp = std::make_unique<SStarNumeric>(*f.layout);
+    run_1d_mp(*f.layout, m, Schedule1DKind::kGraph, f.a, *mp);
+    if (!first) {
+      first = std::move(mp);
+      continue;
+    }
+    EXPECT_TRUE(exec::factors_bitwise_equal(*first, *mp)) << "rep " << rep;
+  }
+}
+
+// 1 x 1 blocks: every supernode is a single column, the maximum number
+// of panels and messages for the problem size.
+TEST(MpDeterminism, UnitBlocks) {
+  const auto f = Fixture::make(40, 3, 7, /*mb=*/1, /*r=*/0);
+  ASSERT_EQ(f.layout->num_blocks(), 40);
+  const auto ref = f.sequential();
+  for (const int ranks : {2, 4}) {
+    const sim::MachineModel m = sim::MachineModel::cray_t3e(ranks);
+    SStarNumeric mp1(*f.layout);
+    run_1d_mp(*f.layout, m, Schedule1DKind::kComputeAhead, f.a, mp1);
+    EXPECT_TRUE(exec::factors_bitwise_equal(*ref, mp1)) << ranks << " ranks";
+    SStarNumeric mp2(*f.layout);
+    run_2d_mp(*f.layout, m, /*async=*/true, f.a, mp2);
+    EXPECT_TRUE(exec::factors_bitwise_equal(*ref, mp2)) << ranks << " ranks";
+  }
+}
+
+// More ranks than supernodes: trailing ranks own nothing and must idle
+// through their (empty) programs without blocking anyone.
+TEST(MpDeterminism, MoreRanksThanBlocks) {
+  const auto f = Fixture::make(5, 2, 11, /*mb=*/2, /*r=*/0);
+  ASSERT_LT(f.layout->num_blocks(), 8);
+  const auto ref = f.sequential();
+  const sim::MachineModel m = sim::MachineModel::cray_t3e(8);
+  SStarNumeric mp1(*f.layout);
+  run_1d_mp(*f.layout, m, Schedule1DKind::kComputeAhead, f.a, mp1);
+  EXPECT_TRUE(exec::factors_bitwise_equal(*ref, mp1));
+  SStarNumeric mp2(*f.layout);
+  run_2d_mp(*f.layout, m, /*async=*/false, f.a, mp2);
+  EXPECT_TRUE(exec::factors_bitwise_equal(*ref, mp2));
+}
+
+// A single supernode covering the whole (dense) matrix: Factor(0) is
+// the entire program, so no rank ever communicates regardless of the
+// rank count.
+TEST(MpDeterminism, SingleBlockNoMessages) {
+  const auto f = Fixture::make(6, 6, 3, /*mb=*/16, /*r=*/16);
+  ASSERT_EQ(f.layout->num_blocks(), 1) << "fixture did not amalgamate to "
+                                          "one supernode";
+  const auto ref = f.sequential();
+  for (const int ranks : {1, 4}) {
+    const sim::MachineModel m = sim::MachineModel::cray_t3e(ranks);
+    SStarNumeric mp(*f.layout);
+    const exec::MpStats st =
+        run_1d_mp(*f.layout, m, Schedule1DKind::kComputeAhead, f.a, mp);
+    EXPECT_TRUE(exec::factors_bitwise_equal(*ref, mp)) << ranks << " ranks";
+    EXPECT_EQ(st.total_messages(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace sstar

@@ -1,0 +1,263 @@
+// sstar_mp — run the message-passing SPMD factorization and verify it.
+//
+//   ./sstar_mp MATRIX.mtx --ranks=4              1D column-block mapping
+//   ./sstar_mp --suite=sherman5 --mapping=2d     2D block-cyclic grid
+//   ./sstar_mp --grid=24 --ranks=8 --audit       + dynamic dependence audit
+//
+// Builds the requested SPMD program (1D compute-ahead / graph-scheduled
+// or 2D async / sync), executes it with one thread per rank over the
+// in-process transport (exec/lu_mp) — private numeric replicas, real
+// factor-panel sends/receives — then:
+//   * prints a per-rank message/byte traffic table,
+//   * factors the same matrix sequentially and verifies the merged
+//     distributed factors are BITWISE-identical (exit 1 if not),
+//   * checks an end-to-end solve residual,
+//   * with --audit (needs a -DSSTAR_AUDIT=ON build), records every
+//     kernel block access during the distributed run and cross-validates
+//     against the program's declared access sets and ordering.
+//
+// Flags: --suite=NAME --scale=S --grid=N --seed=S --ordering=... and
+//        --max-block=N --amalg=N as in sstar_solve_cli;
+//        --ranks=P, --mapping=1d|2d, --schedule=ca|graph (1D),
+//        --sync (2D barrier variant), --shape=RxC (2D grid shape),
+//        --watchdog=SECONDS, --audit
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/audit.hpp"
+#include "core/lu_1d.hpp"
+#include "core/lu_2d.hpp"
+#include "core/task_graph.hpp"
+#include "exec/lu_mp.hpp"
+#include "exec/lu_real.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/hb_io.hpp"
+#include "matrix/io.hpp"
+#include "matrix/suite.hpp"
+#include "sched/list_schedule.hpp"
+#include "solve/solver.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+using namespace sstar;
+
+int main(int argc, char** argv) {
+  std::string matrix_path, suite_name;
+  double scale = 1.0;
+  int grid = 0;
+  std::uint64_t seed = 1;
+  SolverOptions opt;
+  int ranks = 4;
+  std::string mapping = "1d";
+  std::string schedule = "ca";
+  bool async = true;
+  sim::Grid shape{0, 0};
+  double watchdog = 120.0;
+  bool audit = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--suite=", 0) == 0) {
+      suite_name = arg.substr(8);
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      scale = std::atof(arg.c_str() + 8);
+    } else if (arg.rfind("--grid=", 0) == 0) {
+      grid = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--ordering=", 0) == 0) {
+      const std::string v = arg.substr(11);
+      if (v == "mindeg")
+        opt.ordering = SolverOptions::Ordering::kMinDegreeAtA;
+      else if (v == "nd")
+        opt.ordering = SolverOptions::Ordering::kNestedDissection;
+      else if (v == "rcm")
+        opt.ordering = SolverOptions::Ordering::kRcm;
+      else if (v == "natural")
+        opt.ordering = SolverOptions::Ordering::kNatural;
+      else {
+        std::fprintf(stderr, "unknown ordering %s\n", v.c_str());
+        return 2;
+      }
+    } else if (arg.rfind("--max-block=", 0) == 0) {
+      opt.max_block = std::atoi(arg.c_str() + 12);
+    } else if (arg.rfind("--amalg=", 0) == 0) {
+      opt.amalgamation = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--ranks=", 0) == 0) {
+      ranks = std::atoi(arg.c_str() + 8);
+    } else if (arg.rfind("--mapping=", 0) == 0) {
+      mapping = arg.substr(10);
+    } else if (arg.rfind("--schedule=", 0) == 0) {
+      schedule = arg.substr(11);
+    } else if (arg == "--sync") {
+      async = false;
+    } else if (arg == "--async") {
+      async = true;
+    } else if (arg.rfind("--shape=", 0) == 0) {
+      const std::string v = arg.substr(8);
+      const std::size_t x = v.find('x');
+      if (x == std::string::npos) {
+        std::fprintf(stderr, "--shape wants RxC, e.g. --shape=2x4\n");
+        return 2;
+      }
+      shape.rows = std::atoi(v.substr(0, x).c_str());
+      shape.cols = std::atoi(v.substr(x + 1).c_str());
+    } else if (arg.rfind("--watchdog=", 0) == 0) {
+      watchdog = std::atof(arg.c_str() + 11);
+    } else if (arg == "--audit") {
+      audit = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    } else if (matrix_path.empty()) {
+      matrix_path = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (matrix_path.empty() && suite_name.empty() && grid == 0) grid = 24;
+  if (mapping != "1d" && mapping != "2d") {
+    std::fprintf(stderr, "--mapping must be 1d or 2d\n");
+    return 2;
+  }
+  if (schedule != "ca" && schedule != "graph") {
+    std::fprintf(stderr, "--schedule must be ca or graph\n");
+    return 2;
+  }
+#ifndef SSTAR_AUDIT_ENABLED
+  if (audit) {
+    std::fprintf(stderr,
+                 "--audit requires a -DSSTAR_AUDIT=ON build "
+                 "(access recording is compiled out)\n");
+    return 2;
+  }
+#endif
+
+  try {
+    SparseMatrix a = [&]() -> SparseMatrix {
+      if (!matrix_path.empty()) {
+        std::ifstream probe(matrix_path);
+        if (!probe.is_open()) throw CheckError("cannot open " + matrix_path);
+        std::string first;
+        std::getline(probe, first);
+        probe.close();
+        if (first.rfind("%%MatrixMarket", 0) == 0)
+          return io::read_matrix_market(matrix_path);
+        return io::read_harwell_boeing(matrix_path, nullptr);
+      }
+      if (!suite_name.empty())
+        return gen::suite_entry(suite_name).generate(scale, seed);
+      gen::ValueOptions vo;
+      vo.seed = seed;
+      return gen::stencil5(grid, grid, 0.1, vo);
+    }();
+    std::printf("matrix: n = %d, nnz = %lld\n", a.rows(),
+                static_cast<long long>(a.nnz()));
+    SSTAR_CHECK_MSG(a.rows() == a.cols(), "matrix must be square");
+
+    SolverSetup setup = prepare(a, opt);
+    const BlockLayout& layout = *setup.layout;
+    std::printf("layout: %d column blocks\n", layout.num_blocks());
+
+    sim::MachineModel m = sim::MachineModel::cray_t3e(ranks);
+    if (shape.rows > 0) {
+      SSTAR_CHECK_MSG(shape.size() == ranks,
+                      "--shape " << shape.rows << "x" << shape.cols
+                                 << " does not match --ranks=" << ranks);
+      m = m.with_grid(shape);
+    }
+
+    // Build the SPMD program (no closures: kernels are interpreted
+    // against per-rank replicas) — shared between execution and audit.
+    const sim::ParallelProgram prog = [&] {
+      if (mapping == "2d") return build_2d_program(layout, m, async, nullptr);
+      const LuTaskGraph graph(layout);
+      const sched::Schedule1D sched1d =
+          schedule == "ca" ? sched::compute_ahead_schedule(graph, ranks)
+                           : sched::graph_schedule(graph, m);
+      return build_1d_program(graph, sched1d, m, nullptr);
+    }();
+    if (mapping == "2d")
+      std::printf("program: 2D %s, %d ranks (%dx%d grid), %zu tasks\n",
+                  async ? "async" : "sync", ranks, m.grid.rows, m.grid.cols,
+                  prog.num_tasks());
+    else
+      std::printf("program: 1D %s, %d ranks, %zu tasks\n",
+                  schedule == "ca" ? "compute-ahead" : "graph-scheduled",
+                  ranks, prog.num_tasks());
+
+#ifdef SSTAR_AUDIT_ENABLED
+    analysis::AccessLog log;
+    if (audit) log.install();
+#endif
+    exec::MpOptions mpopt;
+    mpopt.watchdog_seconds = watchdog;
+    SStarNumeric mp(layout);
+    const exec::MpStats st =
+        exec::execute_program_mp(prog, setup.permuted, mp, mpopt);
+#ifdef SSTAR_AUDIT_ENABLED
+    if (audit) log.uninstall();
+#endif
+
+    std::printf("\n%-6s %12s %14s %12s %14s\n", "rank", "msgs sent",
+                "bytes sent", "msgs recvd", "bytes recvd");
+    for (std::size_t r = 0; r < st.rank_stats.size(); ++r) {
+      const comm::RankCommStats& s = st.rank_stats[r];
+      std::printf("%-6zu %12lld %14lld %12lld %14lld\n", r,
+                  static_cast<long long>(s.messages_sent),
+                  static_cast<long long>(s.bytes_sent),
+                  static_cast<long long>(s.messages_received),
+                  static_cast<long long>(s.bytes_received));
+    }
+    std::printf("total  %12lld %14lld   (%.3f s wall)\n",
+                static_cast<long long>(st.total_messages()),
+                static_cast<long long>(st.total_bytes()), st.seconds);
+
+    int failures = 0;
+
+    // Differential verification against the sequential factorization.
+    SStarNumeric ref(layout);
+    ref.assemble(setup.permuted);
+    ref.factorize();
+    const bool bitwise = exec::factors_bitwise_equal(ref, mp);
+    std::printf("\nbitwise vs sequential:       %s\n",
+                bitwise ? "IDENTICAL" : "MISMATCH");
+    failures += bitwise ? 0 : 1;
+
+    // End-to-end solve on the merged factors.
+    Rng rng(seed);
+    std::vector<double> b(static_cast<std::size_t>(layout.n()));
+    for (double& x : b) x = rng.uniform(-1.0, 1.0);
+    const std::vector<double> x = mp.solve(b);
+    double rmax = 0.0;
+    const std::vector<double> ax = setup.permuted.multiply(x);
+    for (std::size_t i = 0; i < b.size(); ++i)
+      rmax = std::max(rmax, std::abs(ax[i] - b[i]));
+    std::printf("solve residual ||Ax-b||_inf: %.3e\n", rmax);
+    if (!(rmax < 1e-6 * layout.n())) ++failures;
+
+#ifdef SSTAR_AUDIT_ENABLED
+    if (audit) {
+      const analysis::DynamicAuditReport dyn =
+          analysis::check_recorded_accesses(prog, layout, log.take_events());
+      std::printf("dynamic audit (MP run):      %s\n", dyn.summary().c_str());
+      for (const auto& u : dyn.undeclared)
+        std::printf("  !! %s\n", u.message().c_str());
+      for (const auto& v : dyn.unordered)
+        std::printf("  !! %s\n", v.message().c_str());
+      failures += dyn.ok() ? 0 : 1;
+    }
+#endif
+    return failures == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
