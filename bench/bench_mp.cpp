@@ -13,7 +13,9 @@
 // Besides the text table, results go to machine-readable JSON (default
 // results/bench_mp.json, override with --json=PATH).
 //
-// Flags: the common set; --threads=1,2,4 doubles as the RANK counts.
+// Flags: the common set; --threads=1,2,4 doubles as the RANK counts;
+// --trace=PATH writes one Chrome trace_event JSON per MP run (tagged
+// matrix.program.rN before the extension).
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -24,6 +26,7 @@
 #include "core/lu_1d.hpp"
 #include "core/lu_2d.hpp"
 #include "exec/lu_real.hpp"
+#include "trace/trace.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -137,10 +140,18 @@ int main(int argc, char** argv) {
         run.program = v.label;
 
         SStarNumeric mp(lay);
+        trace::TraceCollector collector;
+        if (!opt.trace_path.empty()) collector.install();
         const exec::MpStats st =
             v.two_d ? run_2d_mp(lay, m, /*async=*/true, p.setup.permuted, mp)
                     : run_1d_mp(lay, m, Schedule1DKind::kGraph,
                                 p.setup.permuted, mp);
+        if (!opt.trace_path.empty()) {
+          collector.uninstall();
+          write_trace(opt.trace_path,
+                      name + "." + v.label + ".r" + std::to_string(ranks),
+                      collector.take(), "rank");
+        }
         run.mp_seconds = st.seconds;
         run.messages = st.total_messages();
         run.bytes = st.total_bytes();

@@ -11,7 +11,9 @@
 // (default results/bench_parallel_real.json, override with --json=PATH)
 // so later PRs can track the performance trajectory.
 //
-// Flags: the common set, plus --threads=1,2,4,8 and --json=PATH.
+// Flags: the common set, plus --threads=1,2,4,8, --json=PATH, and
+// --trace=PATH (one Chrome trace_event JSON per matrix x thread-count
+// run, tag inserted before the extension).
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -21,6 +23,7 @@
 #include "common.hpp"
 #include "core/task_graph.hpp"
 #include "exec/lu_real.hpp"
+#include "trace/trace.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -150,7 +153,14 @@ int main(int argc, char** argv) {
       num.assemble(p.setup.permuted);
       exec::LuRealOptions lro;
       lro.threads = nt;
+      trace::TraceCollector collector;
+      if (!opt.trace_path.empty()) collector.install();
       const exec::ExecStats st = exec::factorize_parallel(graph, num, lro);
+      if (!opt.trace_path.empty()) {
+        collector.uninstall();
+        write_trace(opt.trace_path, name + ".t" + std::to_string(nt),
+                    collector.take(), "worker");
+      }
 
       Run run;
       run.threads = nt;

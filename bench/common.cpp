@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
+#include "trace/export.hpp"
 #include "util/check.hpp"
 
 namespace sstar::bench {
@@ -39,10 +41,12 @@ Options Options::parse(int argc, char** argv) {
         if (!t.empty()) opt.threads.push_back(std::atoi(t.c_str()));
     } else if (auto v = value("--json=")) {
       opt.json_path = *v;
+    } else if (auto v = value("--trace=")) {
+      opt.trace_path = *v;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "flags: --full --scale=F --seed=N --max-block=N --amalg=N "
-          "--matrices=a,b,c --threads=1,2,4 --json=PATH\n");
+          "--matrices=a,b,c --threads=1,2,4 --json=PATH --trace=PATH\n");
       std::exit(0);
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // google-benchmark flags pass through (bench_kernels).
@@ -118,6 +122,28 @@ void print_preamble(const std::string& what, const Options& opt) {
   std::printf(
       "(synthetic structural replicas of the published matrices; see "
       "DESIGN.md)\n\n");
+}
+
+std::string trace_file_for(const std::string& base, const std::string& tag) {
+  const std::size_t dot = base.rfind('.');
+  const std::size_t slash = base.find_last_of("/\\");
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return base + "." + tag;
+  return base.substr(0, dot) + "." + tag + base.substr(dot);
+}
+
+void write_trace(const std::string& base, const std::string& tag,
+                 const trace::Trace& tr, const std::string& lane_name) {
+  const std::string path = trace_file_for(base, tag);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  out << trace::chrome_trace_json(tr, lane_name);
+  std::printf("trace (%zu events) written to %s\n", tr.events.size(),
+              path.c_str());
 }
 
 }  // namespace sstar::bench

@@ -14,6 +14,9 @@
 //   --matrices=a,b,c  restrict to the named suite matrices
 //   --threads=1,2,4   thread counts for real-execution benches
 //   --json=<path>     machine-readable output path (benches that emit it)
+//   --trace=<path>    Chrome trace_event JSON of each executor run
+//                     (real-execution benches; one file per run, the
+//                     run tag inserted before the extension)
 #pragma once
 
 #include <optional>
@@ -23,6 +26,7 @@
 #include "baseline/gplu.hpp"
 #include "matrix/suite.hpp"
 #include "solve/solver.hpp"
+#include "trace/trace.hpp"
 #include "util/table.hpp"
 
 namespace sstar::bench {
@@ -36,6 +40,7 @@ struct Options {
   std::vector<std::string> only;
   std::vector<int> threads;  ///< real-execution thread counts (empty = bench default)
   std::string json_path;     ///< where to write JSON results (empty = bench default)
+  std::string trace_path;    ///< Chrome trace base path (empty = no tracing)
 
   static Options parse(int argc, char** argv);
 
@@ -74,5 +79,14 @@ std::string paper_cell(double v, int precision = 1);
 
 /// Print the standard bench preamble (matrix scales, options).
 void print_preamble(const std::string& what, const Options& opt);
+
+/// Per-run trace file name: insert ".<tag>" before `base`'s extension
+/// ("out.json" + "sherman5.t4" -> "out.sherman5.t4.json").
+std::string trace_file_for(const std::string& base, const std::string& tag);
+
+/// Write the trace as Chrome trace_event JSON to
+/// trace_file_for(base, tag) and print where it went.
+void write_trace(const std::string& base, const std::string& tag,
+                 const trace::Trace& tr, const std::string& lane_name);
 
 }  // namespace sstar::bench

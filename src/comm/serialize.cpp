@@ -87,7 +87,11 @@ void apply_factor_panel(SStarNumeric& numeric, int k,
                                 << h.k << ", applied to block " << k);
   const int w = lay.width(k);
   const std::size_t nr = lay.panel_rows(k).size();
-  SSTAR_CHECK(h.w == w && h.nr == static_cast<std::int32_t>(nr));
+  SSTAR_CHECK_MSG(h.w == w && h.nr == static_cast<std::int32_t>(nr),
+                  "factor panel for block " << k << ": header claims " << h.w
+                                            << " columns x " << h.nr
+                                            << " panel rows, receiver layout "
+                                               "has " << w << " x " << nr);
 
   std::vector<std::int32_t> piv(static_cast<std::size_t>(w));
   in = consume(in, piv.data(), piv.size());

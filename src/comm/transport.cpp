@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace sstar::comm {
@@ -76,6 +77,16 @@ void InProcTransport::send(int src, int dst, int tag,
                            std::vector<std::uint8_t> payload) {
   SSTAR_CHECK(dst >= 0 && dst < ranks());
   SSTAR_CHECK(src >= 0 && src < ranks());
+  if (trace::TraceCollector::active() != nullptr) {
+    trace::TraceEvent e;
+    e.kind = trace::EventKind::kSend;
+    e.lane = src;
+    e.peer = dst;
+    e.k = tag;
+    e.bytes = static_cast<std::int64_t>(payload.size());
+    e.t0 = e.t1 = trace::TraceCollector::now();
+    trace::TraceCollector::record(e, /*explicit_lane=*/true);
+  }
   const std::lock_guard<std::mutex> lock(mu_);
   if (aborted_) throw TransportError(abort_reason_);
   stats_[static_cast<std::size_t>(src)].messages_sent += 1;
@@ -88,6 +99,10 @@ void InProcTransport::send(int src, int dst, int tag,
 
 Message InProcTransport::recv(int rank, int src, int tag) {
   SSTAR_CHECK(rank >= 0 && rank < ranks());
+  // Tracing: the wait span starts at the call, not at the match — the
+  // gap IS the paper's "communication/idle" phase for this rank.
+  const bool tracing = trace::TraceCollector::active() != nullptr;
+  const double trace_t0 = tracing ? trace::TraceCollector::now() : 0.0;
   std::unique_lock<std::mutex> lock(mu_);
   Mailbox& mb = box_[static_cast<std::size_t>(rank)];
   const auto deadline =
@@ -106,6 +121,17 @@ Message InProcTransport::recv(int rank, int src, int tag) {
       stats_[static_cast<std::size_t>(rank)].messages_received += 1;
       stats_[static_cast<std::size_t>(rank)].bytes_received +=
           static_cast<std::int64_t>(m.payload.size());
+      if (tracing) {
+        trace::TraceEvent e;
+        e.kind = trace::EventKind::kRecvWait;
+        e.lane = rank;
+        e.peer = m.src;
+        e.k = m.tag;
+        e.bytes = static_cast<std::int64_t>(m.payload.size());
+        e.t0 = trace_t0;
+        e.t1 = trace::TraceCollector::now();
+        trace::TraceCollector::record(e, /*explicit_lane=*/true);
+      }
       return m;
     }
 

@@ -5,6 +5,7 @@
 
 #include "analysis/access_log.hpp"
 #include "blas/dense_blas.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 
 namespace sstar {
@@ -42,6 +43,7 @@ double SStarNumeric::growth_factor() const {
 }
 
 void SStarNumeric::factor_block(int k) {
+  const trace::KernelSpan trace_span(trace::EventKind::kFactor, k, k);
   const BlockLayout& lay = *layout_;
 #ifdef SSTAR_AUDIT_ENABLED
   SSTAR_AUDIT_RECORD(k, analysis::BlockCoord::kPivotSeq,
@@ -126,10 +128,20 @@ void SStarNumeric::adopt_pivots(int k, const int* rows) {
   const int base = lay.start(k);
   const int w = lay.width(k);
   for (int i = 0; i < w; ++i) {
-    SSTAR_CHECK_MSG(rows[i] >= base && rows[i] < lay.n(),
-                    "adopt_pivots(" << k << "): pivot row " << rows[i]
-                                    << " outside the active region");
-    pivot_of_col_[static_cast<std::size_t>(base + i)] = rows[i];
+    // Theorem 1: the pivot for column base+i comes from the candidate
+    // rows the static structure guarantees — at or below the diagonal
+    // position within the diagonal block, or an L-panel row of block k.
+    // Anything else is a corrupted or forged pivot sequence.
+    const int r = rows[i];
+    const bool in_diag = r >= base + i && r < base + w;
+    SSTAR_CHECK_MSG(in_diag || lay.panel_row_index(k, r) >= 0,
+                    "adopt_pivots(" << k << "): pivot row " << r
+                                    << " for column " << base + i
+                                    << " is neither in rows [" << base + i
+                                    << ", " << base + w
+                                    << ") of the diagonal block nor an L "
+                                       "panel row of block " << k);
+    pivot_of_col_[static_cast<std::size_t>(base + i)] = r;
   }
   factored_[static_cast<std::size_t>(k)] = 1;
 }
@@ -208,6 +220,7 @@ void SStarNumeric::swap_rows_in_block(int m, int t, int j) {
 }
 
 void SStarNumeric::scale_swap(int k, int j) {
+  const trace::KernelSpan trace_span(trace::EventKind::kScale, k, j);
   const BlockLayout& lay = *layout_;
   SSTAR_CHECK_MSG(factored_[k], "ScaleSwap(" << k << "," << j
                                              << ") before Factor(" << k
@@ -221,6 +234,7 @@ void SStarNumeric::scale_swap(int k, int j) {
 }
 
 void SStarNumeric::update_block(int k, int j) {
+  const trace::KernelSpan trace_span(trace::EventKind::kUpdate, k, j);
   const BlockLayout& lay = *layout_;
   SSTAR_CHECK(factored_[k]);
   const BlockRef* uref = lay.find_u_block(k, j);

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <thread>
 
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -110,6 +111,9 @@ struct RunState {
   }
 
   void worker_loop(int self, double* busy) {
+    // Tracing: this thread's events (kernel spans emitted inside task
+    // bodies) belong to worker lane `self`.
+    const trace::ScopedLane trace_lane(self);
     for (;;) {
       if (abort.load(std::memory_order_acquire)) return;
       int t = pop_own(self);
@@ -127,6 +131,7 @@ struct RunState {
 
       const DagTask& task = tasks[static_cast<std::size_t>(t)];
       if (task.run) {
+        const trace::ScopedTraceTask trace_task(t);
         const WallTimer timer;
         try {
           task.run();
@@ -194,10 +199,12 @@ ExecStats run_dag(const std::vector<DagTask>& tasks,
   if (nw == 1) {
     // Inline execution in topological order: the 1-thread baseline pays
     // no pool overhead.
+    const trace::ScopedLane trace_lane(0);
     const WallTimer wall;
     for (const int t : topo) {
       const DagTask& task = tasks[static_cast<std::size_t>(t)];
       if (!task.run) continue;
+      const trace::ScopedTraceTask trace_task(t);
       const WallTimer timer;
       task.run();
       stats.busy_seconds[0] += timer.seconds();

@@ -11,6 +11,7 @@
 #include "analysis/access_log.hpp"
 #include "comm/serialize.hpp"
 #include "sim/comm_plan.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/timer.hpp"
 
@@ -62,12 +63,16 @@ void run_rank(const sim::ParallelProgram& prog, int rank, SStarNumeric& num,
   num.assemble(a);
   poison_unowned_columns(num, owner, rank);
 
+  // Tracing: this rank's thread records on lane `rank`; each task's
+  // kernel spans and transport events carry the program task id.
+  const trace::ScopedLane trace_lane(rank);
   for (const sim::TaskId t : prog.proc_order(rank)) {
     const sim::TaskDef& def = prog.task(t);
     if (def.kernels.empty() && def.pre_comms.empty() &&
         def.post_comms.empty())
       continue;  // modeling-only task (work shares, barriers)
     SSTAR_AUDIT_TASK(t);
+    const trace::ScopedTraceTask trace_task(t);
     for (const sim::CommOp& op : def.pre_comms) {
       if (op.kind == sim::CommOp::Kind::kRecv) {
         const comm::Message m = tp.recv(rank, op.peer, op.k);

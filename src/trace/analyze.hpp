@@ -1,0 +1,75 @@
+// Trace analysis: paper-style per-phase breakdowns and the realized
+// critical path of an executed run.
+//
+// The paper reports parallel time split into computation, communication
+// and idle per processor (Tables 5-7). phase_breakdown() computes the
+// measured version of that split from a merged Trace: compute = sum of
+// kernel spans, comm = sum of recv-wait spans, idle = everything else
+// up to the measured makespan. realized_critical_path() walks the
+// longest chain of happens-before-ordered events that actually executed
+// (program order within a lane, plus send -> recv matches across
+// lanes) — the measured analogue of the DAG critical path the
+// scheduler bounds reason about.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace sstar::trace {
+
+/// Measured per-lane and aggregate phase totals.
+struct PhaseBreakdown {
+  struct Lane {
+    double compute = 0.0;    ///< seconds inside kernel spans
+    double comm_wait = 0.0;  ///< seconds inside recv-wait spans
+    double idle = 0.0;       ///< makespan - compute - comm_wait (>= 0)
+    std::int64_t flops = 0;  ///< flops recorded by this lane's kernels
+    std::int64_t sent_bytes = 0;
+    std::int64_t recv_bytes = 0;
+    int tasks = 0;  ///< distinct tagged task ids seen on this lane
+  };
+
+  std::vector<Lane> lanes;
+  double makespan = 0.0;  ///< max event end time (trace epoch = 0)
+  std::int64_t total_flops = 0;
+  std::int64_t total_sent_bytes = 0;  ///< sum over kSend events
+  std::int64_t total_recv_bytes = 0;  ///< sum over kRecvWait events
+  std::int64_t sends = 0;
+  std::int64_t recvs = 0;
+  /// Per-kind span counts indexed by EventKind.
+  std::int64_t kind_count[5] = {0, 0, 0, 0, 0};
+  double kind_seconds[5] = {0.0, 0.0, 0.0, 0.0, 0.0};
+
+  double total_compute() const;
+  double total_comm_wait() const;
+  /// Parallel efficiency proxy: total_compute / (lanes * makespan).
+  double busy_fraction() const;
+};
+
+PhaseBreakdown phase_breakdown(const Trace& trace);
+
+/// Render the breakdown as a text table, one row per lane plus totals.
+std::string breakdown_table(const PhaseBreakdown& b);
+
+/// The realized critical path: the chain of events ending at the
+/// last-finishing event, where each step follows the latest-finishing
+/// happens-before predecessor (previous event on the same lane, or the
+/// matching send for a recv-wait). `gap_seconds` is scheduling slack on
+/// the path — time on the path covered by neither compute nor comm.
+struct CriticalPath {
+  std::vector<TraceEvent> events;  ///< path in time order
+  double makespan = 0.0;
+  double compute_seconds = 0.0;  ///< kernel time on the path
+  double comm_seconds = 0.0;     ///< recv-wait time on the path
+  double gap_seconds = 0.0;      ///< makespan - compute - comm on path
+};
+
+CriticalPath realized_critical_path(const Trace& trace);
+
+/// One line per path event: lane, label, interval, contribution.
+std::string critical_path_text(const CriticalPath& cp);
+
+}  // namespace sstar::trace

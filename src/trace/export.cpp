@@ -1,0 +1,321 @@
+#include "trace/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace sstar::trace {
+
+namespace {
+
+// Timestamps are written in microseconds with three decimals
+// (nanosecond resolution) — enough that distinct steady_clock readings
+// stay distinct and the round-trip comparison in tests is exact at the
+// printed precision.
+std::string us(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", seconds * 1e6);
+  return buf;
+}
+
+const char* kind_tag(EventKind k) {
+  switch (k) {
+    case EventKind::kFactor: return "factor";
+    case EventKind::kScale: return "scale";
+    case EventKind::kUpdate: return "update";
+    case EventKind::kSend: return "send";
+    case EventKind::kRecvWait: return "recv";
+  }
+  return "?";
+}
+
+EventKind kind_from_tag(const std::string& s) {
+  if (s == "factor") return EventKind::kFactor;
+  if (s == "scale") return EventKind::kScale;
+  if (s == "update") return EventKind::kUpdate;
+  if (s == "send") return EventKind::kSend;
+  if (s == "recv") return EventKind::kRecvWait;
+  throw CheckError("chrome trace: unknown event kind tag '" + s + "'");
+}
+
+// ----- minimal strict JSON parser (objects/arrays/strings/numbers) -----
+//
+// The Chrome trace format is plain JSON; round-tripping through a real
+// parser (rather than string comparisons) is what makes the golden-file
+// test meaningful. This parser accepts exactly standard JSON minus
+// \uXXXX escapes (the exporter never emits them).
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  const Json& at(const std::string& key) const {
+    const auto it = obj.find(key);
+    SSTAR_CHECK_MSG(it != obj.end(), "chrome trace: missing field '"
+                                         << key << "'");
+    return it->second;
+  }
+  bool has(const std::string& key) const { return obj.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    SSTAR_CHECK_MSG(pos_ == s_.size(),
+                    "chrome trace: trailing bytes at offset " << pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    skip_ws();
+    SSTAR_CHECK_MSG(pos_ < s_.size(),
+                    "chrome trace: unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    SSTAR_CHECK_MSG(peek() == c, "chrome trace: expected '"
+                                     << c << "' at offset " << pos_
+                                     << ", found '" << s_[pos_] << "'");
+    ++pos_;
+  }
+
+  Json value() {
+    const char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      Json v;
+      v.type = Json::Type::kString;
+      v.str = string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') {
+      literal("null");
+      return Json{};
+    }
+    return number();
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      SSTAR_CHECK_MSG(pos_ < s_.size() && s_[pos_] == *p,
+                      "chrome trace: bad literal at offset " << pos_);
+      ++pos_;
+    }
+  }
+
+  Json boolean() {
+    Json v;
+    v.type = Json::Type::kBool;
+    if (peek() == 't') {
+      literal("true");
+      v.b = true;
+    } else {
+      literal("false");
+      v.b = false;
+    }
+    return v;
+  }
+
+  Json number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    SSTAR_CHECK_MSG(pos_ > start, "chrome trace: expected a number at offset "
+                                      << start);
+    Json v;
+    v.type = Json::Type::kNumber;
+    v.num = std::stod(s_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      SSTAR_CHECK_MSG(pos_ < s_.size(),
+                      "chrome trace: unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        SSTAR_CHECK_MSG(pos_ < s_.size(),
+                        "chrome trace: unterminated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          default:
+            throw CheckError("chrome trace: unsupported escape sequence");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+  }
+
+  Json array() {
+    expect('[');
+    Json v;
+    v.type = Json::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arr.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      SSTAR_CHECK_MSG(c == ',', "chrome trace: expected ',' or ']' at offset "
+                                    << pos_ - 1);
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json v;
+    v.type = Json::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      expect(':');
+      v.obj.emplace(std::move(key), value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      SSTAR_CHECK_MSG(c == ',', "chrome trace: expected ',' or '}' at offset "
+                                    << pos_ - 1);
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string chrome_trace_json(const Trace& trace,
+                              const std::string& lane_name) {
+  std::ostringstream os;
+  os << "[\n";
+  // Lane naming metadata first: one process, one named thread per lane.
+  for (int lane = 0; lane < trace.num_lanes; ++lane) {
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << lane
+       << ",\"args\":{\"name\":\"" << lane_name << " " << lane << "\"}},\n";
+  }
+  bool first = true;
+  for (const TraceEvent& e : trace.events) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"name\":\"" << event_label(e) << "\",\"cat\":\""
+       << (is_kernel(e.kind) ? "compute" : "comm") << "\",\"ph\":\""
+       << (e.kind == EventKind::kSend ? "i" : "X") << "\",\"ts\":"
+       << us(e.t0);
+    if (e.kind != EventKind::kSend) os << ",\"dur\":" << us(e.t1 - e.t0);
+    if (e.kind == EventKind::kSend) os << ",\"s\":\"t\"";
+    os << ",\"pid\":0,\"tid\":" << e.lane << ",\"args\":{\"kind\":\""
+       << kind_tag(e.kind) << "\",\"task\":" << e.task << ",\"k\":" << e.k
+       << ",\"j\":" << e.j << ",\"peer\":" << e.peer
+       << ",\"flops\":" << e.flops << ",\"bytes\":" << e.bytes << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+Trace parse_chrome_trace(const std::string& json) {
+  const Json doc = JsonParser(json).parse();
+  SSTAR_CHECK_MSG(doc.type == Json::Type::kArray,
+                  "chrome trace: top level must be an array");
+  Trace out;
+  for (const Json& ev : doc.arr) {
+    SSTAR_CHECK_MSG(ev.type == Json::Type::kObject,
+                    "chrome trace: events must be objects");
+    const std::string ph = ev.at("ph").str;
+    if (ph == "M") continue;  // metadata (lane names)
+    SSTAR_CHECK_MSG(ph == "X" || ph == "i",
+                    "chrome trace: unexpected phase '" << ph << "'");
+    const Json& args = ev.at("args");
+    TraceEvent e;
+    e.kind = kind_from_tag(args.at("kind").str);
+    e.lane = static_cast<std::int32_t>(ev.at("tid").num);
+    e.task = static_cast<std::int32_t>(args.at("task").num);
+    e.k = static_cast<std::int32_t>(args.at("k").num);
+    e.j = static_cast<std::int32_t>(args.at("j").num);
+    e.peer = static_cast<std::int32_t>(args.at("peer").num);
+    e.flops = static_cast<std::int64_t>(args.at("flops").num);
+    e.bytes = static_cast<std::int64_t>(args.at("bytes").num);
+    e.t0 = ev.at("ts").num / 1e6;
+    e.t1 = ev.has("dur") ? e.t0 + ev.at("dur").num / 1e6 : e.t0;
+    out.events.push_back(e);
+    out.num_lanes = std::max(out.num_lanes, e.lane + 1);
+  }
+  return out;
+}
+
+std::string gantt_text(const Trace& trace, int width) {
+  std::ostringstream os;
+  double tmax = 0.0;
+  for (const TraceEvent& e : trace.events) tmax = std::max(tmax, e.t1);
+  const double span = tmax > 0.0 ? tmax : 1.0;
+  for (int lane = 0; lane < trace.num_lanes; ++lane) {
+    os << "L" << lane << " |";
+    std::string line(static_cast<std::size_t>(width), '.');
+    for (const TraceEvent& e : trace.events) {
+      if (e.lane != lane) continue;
+      // Comm waits render as '~', compute spans as '#' under the label.
+      const char fill = is_kernel(e.kind) ? '#' : '~';
+      int s = static_cast<int>(e.t0 / span * width);
+      int f = static_cast<int>(e.t1 / span * width);
+      s = std::clamp(s, 0, width - 1);
+      f = std::clamp(f, s + 1, width);
+      for (int x = s; x < f; ++x) line[static_cast<std::size_t>(x)] = fill;
+      const std::string label = event_label(e);
+      for (std::size_t c = 0;
+           c < label.size() && s + static_cast<int>(c) < f; ++c)
+        line[static_cast<std::size_t>(s) + c] = label[c];
+    }
+    os << line << "|\n";
+  }
+  os << "time 0 .. " << span << " s   (#/label = compute, ~ = comm wait)\n";
+  return os.str();
+}
+
+}  // namespace sstar::trace

@@ -9,6 +9,15 @@
 
 namespace sstar::testing {
 
+/// Effective seed for randomized fixtures. Returns `default_seed`
+/// unchanged unless the SSTAR_TEST_SEED environment variable is set to
+/// a nonzero integer, in which case the two are mixed (splitmix64) —
+/// every randomized fixture re-rolls deterministically per environment
+/// seed without code changes. random_sparse() and random_vector()
+/// route their seeds through this, and a test listener prints the
+/// active environment seed whenever a test fails.
+std::uint64_t test_seed(std::uint64_t default_seed);
+
 /// A small random sparse nonsingular matrix with a zero-free diagonal,
 /// `extra` random off-diagonals per column, and a fraction of weak
 /// diagonal rows so partial pivoting is exercised.

@@ -15,7 +15,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "comm/serialize.hpp"
@@ -26,6 +28,8 @@
 #include "supernode/partition.hpp"
 #include "symbolic/static_symbolic.hpp"
 #include "test_helpers.hpp"
+#include "trace/trace.hpp"
+#include "util/check.hpp"
 
 namespace sstar {
 namespace {
@@ -165,6 +169,132 @@ TEST(MpDifferential, MessageVolumeMatchesPlan) {
   EXPECT_LE(st.total_bytes(), max_bytes);
   EXPECT_LE(st.total_messages(),
             static_cast<std::int64_t>(f.layout->num_blocks()) * 2);
+}
+
+// Tracing must be a pure observer: with a collector installed, both MP
+// program families still produce factors bitwise-identical to the
+// sequential ones, and the trace is non-trivial.
+TEST(MpDifferential, TracingOnProducesBitwiseIdenticalFactors) {
+  const auto f = Fixture::make(110, 4, 67, 8, 4);
+  const auto ref = f.sequential();
+  const sim::MachineModel m = sim::MachineModel::cray_t3e(4);
+
+  trace::TraceCollector collector;
+  collector.install();
+  SStarNumeric mp1(*f.layout);
+  run_1d_mp(*f.layout, m, Schedule1DKind::kGraph, f.a, mp1);
+  SStarNumeric mp2(*f.layout);
+  run_2d_mp(*f.layout, m, /*async=*/true, f.a, mp2);
+  collector.uninstall();
+  const trace::Trace tr = collector.take();
+
+  EXPECT_TRUE(exec::factors_bitwise_equal(*ref, mp1));
+  EXPECT_TRUE(exec::factors_bitwise_equal(*ref, mp2));
+  EXPECT_EQ(mp1.pivot_of_col(), ref->pivot_of_col());
+  EXPECT_EQ(mp2.pivot_of_col(), ref->pivot_of_col());
+  EXPECT_GT(tr.events.size(), 0u);
+  EXPECT_GT(tr.num_lanes, 1);
+}
+
+// ----------------------------------------------------------------------
+// Negative paths of the factor-panel wire format (comm/serialize): a
+// corrupted or mismatched payload must fail loudly with a diagnostic
+// naming the problem, never be applied quietly.
+
+void expect_check_failure(SStarNumeric& num, int k,
+                          const std::vector<std::uint8_t>& bytes,
+                          const std::string& needle) {
+  try {
+    comm::apply_factor_panel(num, k, bytes.data(), bytes.size());
+    FAIL() << "expected CheckError containing \"" << needle << "\"";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "diagnostic was: " << e.what();
+  }
+}
+
+struct SerializeFixture {
+  Fixture f;
+  std::unique_ptr<SStarNumeric> sender;
+  int k = 0;  // a block with base > 0 so out-of-panel rows exist
+
+  static SerializeFixture make() {
+    SerializeFixture sf;
+    sf.f = Fixture::make(80, 4, 91, 8, 4);
+    sf.sender = sf.f.sequential();
+    sf.k = sf.f.layout->num_blocks() - 1;
+    EXPECT_GT(sf.f.layout->start(sf.k), 0);
+    return sf;
+  }
+
+  std::unique_ptr<SStarNumeric> receiver() const {
+    auto num = std::make_unique<SStarNumeric>(*f.layout);
+    num->assemble(f.a);
+    return num;
+  }
+};
+
+TEST(MpSerialize, RoundTripAppliesCleanly) {
+  const SerializeFixture sf = SerializeFixture::make();
+  const auto bytes = comm::serialize_factor_panel(*sf.sender, sf.k);
+  EXPECT_EQ(bytes.size(), comm::factor_panel_bytes(*sf.f.layout, sf.k));
+  const auto num = sf.receiver();
+  comm::apply_factor_panel(*num, sf.k, bytes.data(), bytes.size());
+  const int base = sf.f.layout->start(sf.k);
+  for (int i = 0; i < sf.f.layout->width(sf.k); ++i)
+    EXPECT_EQ(num->pivot_of_col()[static_cast<std::size_t>(base + i)],
+              sf.sender->pivot_of_col()[static_cast<std::size_t>(base + i)]);
+}
+
+TEST(MpSerialize, TruncatedBufferRejected) {
+  const SerializeFixture sf = SerializeFixture::make();
+  auto bytes = comm::serialize_factor_panel(*sf.sender, sf.k);
+  bytes.pop_back();
+  const auto num = sf.receiver();
+  expect_check_failure(*num, sf.k, bytes, "bytes, expected");
+  expect_check_failure(*num, sf.k, {}, "bytes, expected");
+}
+
+TEST(MpSerialize, CorruptedMagicRejected) {
+  const SerializeFixture sf = SerializeFixture::make();
+  auto bytes = comm::serialize_factor_panel(*sf.sender, sf.k);
+  bytes[0] ^= 0xFF;
+  const auto num = sf.receiver();
+  expect_check_failure(*num, sf.k, bytes, "bad magic");
+}
+
+TEST(MpSerialize, WrongBlockTagRejected) {
+  const SerializeFixture sf = SerializeFixture::make();
+  auto bytes = comm::serialize_factor_panel(*sf.sender, sf.k);
+  // Header field h.k lives at byte offset 4.
+  const std::int32_t wrong = sf.k + 1;
+  std::memcpy(bytes.data() + 4, &wrong, sizeof wrong);
+  const auto num = sf.receiver();
+  expect_check_failure(*num, sf.k, bytes,
+                       "tagged for block " + std::to_string(wrong));
+}
+
+TEST(MpSerialize, DimensionMismatchRejected) {
+  const SerializeFixture sf = SerializeFixture::make();
+  auto bytes = comm::serialize_factor_panel(*sf.sender, sf.k);
+  // Header field h.w lives at byte offset 8: claim one more column than
+  // the receiver's layout carries for this block.
+  const std::int32_t w = sf.f.layout->width(sf.k) + 1;
+  std::memcpy(bytes.data() + 8, &w, sizeof w);
+  const auto num = sf.receiver();
+  expect_check_failure(*num, sf.k, bytes, "header claims");
+}
+
+TEST(MpSerialize, ForgedPivotRowRejected) {
+  const SerializeFixture sf = SerializeFixture::make();
+  auto bytes = comm::serialize_factor_panel(*sf.sender, sf.k);
+  // Pivot entries start at byte offset 16. Row 0 is above this block's
+  // diagonal range (base > 0) and can never be one of its panel rows,
+  // so a forged pivot pointing there must trip adopt_pivots().
+  const std::int32_t forged = 0;
+  std::memcpy(bytes.data() + 16, &forged, sizeof forged);
+  const auto num = sf.receiver();
+  expect_check_failure(*num, sf.k, bytes, "neither in rows");
 }
 
 }  // namespace

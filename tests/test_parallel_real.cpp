@@ -16,6 +16,7 @@
 #include "supernode/partition.hpp"
 #include "symbolic/static_symbolic.hpp"
 #include "test_helpers.hpp"
+#include "trace/trace.hpp"
 
 namespace sstar {
 namespace {
@@ -141,6 +142,37 @@ TEST(LuRealExec, Run2DRealMatchesSequential) {
     EXPECT_TRUE(exec::factors_bitwise_equal(*ref, num))
         << (async ? "async" : "sync");
   }
+}
+
+// Tracing must be a pure observer of the work-stealing executor too:
+// with a collector installed the factors stay bitwise-identical, and
+// the kernel spans land on the worker lanes that ran them.
+TEST(LuRealExec, TracingOnBitwiseIdentical) {
+  const auto f = Fixture::make(120, 4, 29, 8, 4);
+  const auto ref = f.sequential();
+  const LuTaskGraph graph(*f.layout);
+
+  SStarNumeric num(*f.layout);
+  num.assemble(f.a);
+  exec::LuRealOptions opt;
+  opt.threads = 4;
+  trace::TraceCollector collector;
+  collector.install();
+  const exec::ExecStats st = exec::factorize_parallel(graph, num, opt);
+  collector.uninstall();
+  const trace::Trace tr = collector.take();
+
+  EXPECT_TRUE(exec::factors_bitwise_equal(*ref, num));
+  EXPECT_EQ(num.pivot_of_col(), ref->pivot_of_col());
+  // One Factor span per block; every span on a valid worker lane.
+  int factor_spans = 0;
+  for (const trace::TraceEvent& e : tr.events) {
+    EXPECT_GE(e.lane, 0);
+    EXPECT_LT(e.lane, st.threads);
+    if (e.kind == trace::EventKind::kFactor) ++factor_spans;
+  }
+  EXPECT_EQ(factor_spans, f.layout->num_blocks());
+  EXPECT_GT(tr.events.size(), 0u);
 }
 
 TEST(LuRealExec, FactorsBitwiseEqualDetectsDifferences) {

@@ -20,7 +20,9 @@
 //        --max-block=N --amalg=N as in sstar_solve_cli;
 //        --ranks=P, --mapping=1d|2d, --schedule=ca|graph (1D),
 //        --sync (2D barrier variant), --shape=RxC (2D grid shape),
-//        --watchdog=SECONDS, --audit
+//        --watchdog=SECONDS, --audit,
+//        --trace=PATH (write a Chrome trace_event JSON of the MP run;
+//        analyze it with sstar_trace --load=PATH)
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -42,6 +44,8 @@
 #include "matrix/suite.hpp"
 #include "sched/list_schedule.hpp"
 #include "solve/solver.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -60,6 +64,7 @@ int main(int argc, char** argv) {
   sim::Grid shape{0, 0};
   double watchdog = 120.0;
   bool audit = false;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -112,6 +117,8 @@ int main(int argc, char** argv) {
       watchdog = std::atof(arg.c_str() + 11);
     } else if (arg == "--audit") {
       audit = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -199,9 +206,20 @@ int main(int argc, char** argv) {
 #endif
     exec::MpOptions mpopt;
     mpopt.watchdog_seconds = watchdog;
+    trace::TraceCollector collector;
+    if (!trace_path.empty()) collector.install();
     SStarNumeric mp(layout);
     const exec::MpStats st =
         exec::execute_program_mp(prog, setup.permuted, mp, mpopt);
+    if (!trace_path.empty()) {
+      collector.uninstall();
+      const trace::Trace tr = collector.take();
+      std::ofstream out(trace_path);
+      if (!out) throw CheckError("cannot write " + trace_path);
+      out << trace::chrome_trace_json(tr, "rank");
+      std::printf("trace: %zu event(s) written to %s\n", tr.events.size(),
+                  trace_path.c_str());
+    }
 #ifdef SSTAR_AUDIT_ENABLED
     if (audit) log.uninstall();
 #endif
