@@ -10,6 +10,13 @@
 // honesty in serialized panel traffic, and this bench tracks that cost
 // alongside the wall clock.
 //
+// Each MP run also reports its measured per-rank peak store bytes
+// (owned area + panel-cache high water, from DistBlockStore) next to
+// the sim/memory_model replay prediction — the predicted-vs-measured
+// MEMORY datapoint companion to the runtime validation of
+// trace/validate. The two must agree exactly (the prediction replays
+// the same refcount protocol the store runs).
+//
 // Besides the text table, results go to machine-readable JSON (default
 // results/bench_mp.json, override with --json=PATH).
 //
@@ -25,7 +32,11 @@
 #include "common.hpp"
 #include "core/lu_1d.hpp"
 #include "core/lu_2d.hpp"
+#include "core/task_graph.hpp"
+#include "exec/lu_mp.hpp"
 #include "exec/lu_real.hpp"
+#include "sched/list_schedule.hpp"
+#include "sim/memory_model.hpp"
 #include "trace/trace.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -41,14 +52,26 @@ struct Run {
   long long messages = 0;
   long long bytes = 0;
   bool identical = false;
+  std::vector<long long> rank_peak_bytes;       // measured, per rank
+  std::vector<long long> predicted_peak_bytes;  // replay prediction
+  long long peak_store_bytes = 0;       // sum of measured rank peaks
+  long long predicted_store_bytes = 0;  // sum of predicted rank peaks
 };
 
 struct MatrixResult {
   std::string name;
   int n = 0;
   double sequential_seconds = 0.0;
+  long long sequential_store_bytes = 0;  // the packed store's size
   std::vector<Run> runs;
 };
+
+std::string json_array(const std::vector<long long>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i)
+    out += std::to_string(v[i]) + (i + 1 < v.size() ? ", " : "");
+  return out + "]";
+}
 
 void write_json(const std::string& path,
                 const std::vector<MatrixResult>& results) {
@@ -72,6 +95,7 @@ void write_json(const std::string& path,
     const MatrixResult& m = results[i];
     out << "    {\"name\": \"" << m.name << "\", \"n\": " << m.n
         << ", \"sequential_seconds\": " << num(m.sequential_seconds)
+        << ", \"sequential_store_bytes\": " << m.sequential_store_bytes
         << ", \"runs\": [\n";
     for (std::size_t r = 0; r < m.runs.size(); ++r) {
       const Run& run = m.runs[r];
@@ -81,7 +105,12 @@ void write_json(const std::string& path,
           << ", \"messages\": " << run.messages
           << ", \"bytes\": " << run.bytes
           << ", \"identical_to_sequential\": "
-          << (run.identical ? "true" : "false") << "}"
+          << (run.identical ? "true" : "false")
+          << ",\n       \"peak_store_bytes\": " << run.peak_store_bytes
+          << ", \"predicted_store_bytes\": " << run.predicted_store_bytes
+          << ", \"rank_peak_bytes\": " << json_array(run.rank_peak_bytes)
+          << ", \"predicted_rank_peak_bytes\": "
+          << json_array(run.predicted_peak_bytes) << "}"
           << (r + 1 < m.runs.size() ? "," : "") << "\n";
     }
     out << "    ]}" << (i + 1 < results.size() ? "," : "") << "\n";
@@ -108,7 +137,8 @@ int main(int argc, char** argv) {
 
   TextTable table("bench_mp — message-passing vs shared-memory execution");
   table.set_header({"matrix", "program", "ranks", "seq s", "mp s", "sm s",
-                    "msgs", "MB moved", "bitwise"});
+                    "msgs", "MB moved", "peak MB", "x seq", "pred",
+                    "bitwise"});
 
   std::vector<MatrixResult> results;
   for (const std::string& name : names) {
@@ -126,6 +156,7 @@ int main(int argc, char** argv) {
       ref.factorize();
       mr.sequential_seconds = t.seconds();
     }
+    mr.sequential_store_bytes = ref.data().size() * 8;
 
     for (const int ranks : rank_counts) {
       const sim::MachineModel m = sim::MachineModel::cray_t3e(ranks);
@@ -139,13 +170,23 @@ int main(int argc, char** argv) {
         run.ranks = ranks;
         run.program = v.label;
 
+        // Build the program explicitly (same construction as
+        // run_{1d,2d}_mp) so the memory prediction replays the exact
+        // comm plan the run executes.
+        const sim::ParallelProgram prog = [&] {
+          if (v.two_d) return build_2d_program(lay, m, /*async=*/true,
+                                               nullptr);
+          const LuTaskGraph graph(lay);
+          return build_1d_program(graph, sched::graph_schedule(graph, m), m,
+                                  nullptr);
+        }();
+        const sim::MpMemoryPrediction pred = sim::predict_mp_memory(lay, prog);
+
         SStarNumeric mp(lay);
         trace::TraceCollector collector;
         if (!opt.trace_path.empty()) collector.install();
         const exec::MpStats st =
-            v.two_d ? run_2d_mp(lay, m, /*async=*/true, p.setup.permuted, mp)
-                    : run_1d_mp(lay, m, Schedule1DKind::kGraph,
-                                p.setup.permuted, mp);
+            exec::execute_program_mp(prog, p.setup.permuted, mp);
         if (!opt.trace_path.empty()) {
           collector.uninstall();
           write_trace(opt.trace_path,
@@ -156,6 +197,12 @@ int main(int argc, char** argv) {
         run.messages = st.total_messages();
         run.bytes = st.total_bytes();
         run.identical = exec::factors_bitwise_equal(ref, mp);
+        for (const exec::MpStats::RankMemoryStats& ms : st.memory)
+          run.rank_peak_bytes.push_back(ms.peak_bytes);
+        for (const sim::MpMemoryPrediction::Rank& pr : pred.ranks)
+          run.predicted_peak_bytes.push_back(pr.peak_bytes);
+        run.peak_store_bytes = st.peak_store_bytes_total();
+        run.predicted_store_bytes = pred.total_peak_bytes();
 
         SStarNumeric sm(lay);
         sm.assemble(p.setup.permuted);
@@ -164,13 +211,19 @@ int main(int argc, char** argv) {
                     : run_1d_real(lay, m, Schedule1DKind::kGraph, sm, ranks);
         run.sm_seconds = sst.seconds;
 
-        table.add_row({matrix_label(p), v.label, std::to_string(ranks),
-                       fmt_double(mr.sequential_seconds, 3),
-                       fmt_double(run.mp_seconds, 3),
-                       fmt_double(run.sm_seconds, 3),
-                       std::to_string(run.messages),
-                       fmt_double(static_cast<double>(run.bytes) / 1.0e6, 2),
-                       run.identical ? "ok" : "MISMATCH"});
+        table.add_row(
+            {matrix_label(p), v.label, std::to_string(ranks),
+             fmt_double(mr.sequential_seconds, 3),
+             fmt_double(run.mp_seconds, 3), fmt_double(run.sm_seconds, 3),
+             std::to_string(run.messages),
+             fmt_double(static_cast<double>(run.bytes) / 1.0e6, 2),
+             fmt_double(static_cast<double>(run.peak_store_bytes) / 1.0e6, 2),
+             fmt_double(static_cast<double>(run.peak_store_bytes) /
+                            static_cast<double>(mr.sequential_store_bytes),
+                        2),
+             run.peak_store_bytes == run.predicted_store_bytes ? "exact"
+                                                               : "MISMATCH",
+             run.identical ? "ok" : "MISMATCH"});
         mr.runs.push_back(std::move(run));
       }
     }
@@ -178,10 +231,13 @@ int main(int argc, char** argv) {
   }
 
   table.set_footnote(
-      "mp = rank-per-thread message-passing executor (per-rank replicas, "
+      "mp = rank-per-thread message-passing executor (owner-only stores, "
       "serialized factor-panel traffic); sm = shared-memory work-stealing "
-      "executor with the same schedule; 'bitwise' = merged MP factors "
-      "identical to the sequential factorization.");
+      "executor with the same schedule; 'peak MB' = sum over ranks of "
+      "owned + panel-cache high water, 'x seq' = that sum over the "
+      "sequential packed store, 'pred' = measured peak vs the "
+      "sim/memory_model replay; 'bitwise' = merged MP factors identical "
+      "to the sequential factorization.");
   table.print();
 
   write_json(opt.json_path.empty() ? "results/bench_mp.json" : opt.json_path,

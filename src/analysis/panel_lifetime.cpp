@@ -1,0 +1,121 @@
+#include "analysis/panel_lifetime.hpp"
+
+#include <sstream>
+
+#include "sim/comm_plan.hpp"
+
+namespace sstar::analysis {
+
+std::string PanelLifetimeIssue::message() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kReadAfterRelease:
+      os << "rank " << rank << " task " << task << " consumes panel " << k
+         << " AFTER its refcount released it";
+      break;
+    case Kind::kReadBeforeReceive:
+      os << "rank " << rank << " task " << task << " consumes panel " << k
+         << " with no delivering recv before it";
+      break;
+    case Kind::kForwardAfterRelease:
+      os << "rank " << rank << " task " << task << " forwards panel " << k
+         << " which is not resident";
+      break;
+    case Kind::kLeak:
+      os << "rank " << rank << " ends its program with panel " << k
+         << " still resident (refcount leak)";
+      break;
+  }
+  return os.str();
+}
+
+std::string PanelLifetimeReport::summary() const {
+  std::ostringstream os;
+  os << "panel lifetime audit: " << ranks << " rank(s), " << panels
+     << " panel(s), " << accesses_checked << " access(es) replayed, "
+     << issues.size() << " issue(s)";
+  for (const PanelLifetimeIssue& i : issues) os << "\n  " << i.message();
+  return os.str();
+}
+
+PanelLifetimeReport audit_panel_lifetimes(
+    const sim::ParallelProgram& prog,
+    const std::vector<ReleaseOverride>& overrides) {
+  const std::vector<int> owner = sim::panel_owners(prog);
+  const std::vector<std::vector<int>> counts =
+      sim::panel_consumer_counts(prog);
+  const int nb = static_cast<int>(owner.size());
+
+  PanelLifetimeReport report;
+  report.ranks = prog.processors();
+  report.panels = nb;
+
+  enum class State : char { kNever, kResident, kReleased };
+  for (int p = 0; p < prog.processors(); ++p) {
+    std::vector<State> state(static_cast<std::size_t>(nb), State::kNever);
+    std::vector<int> remaining(static_cast<std::size_t>(nb), 0);
+
+    const auto receive = [&](int k) {
+      state[static_cast<std::size_t>(k)] = State::kResident;
+      remaining[static_cast<std::size_t>(k)] =
+          counts[static_cast<std::size_t>(k)][static_cast<std::size_t>(p)];
+      for (const ReleaseOverride& o : overrides)
+        if (o.rank == p && o.k == k)
+          remaining[static_cast<std::size_t>(k)] = o.uses;
+    };
+    const auto check_resident = [&](int k, sim::TaskId t,
+                                    PanelLifetimeIssue::Kind released,
+                                    PanelLifetimeIssue::Kind never) {
+      report.accesses_checked++;
+      if (state[static_cast<std::size_t>(k)] == State::kResident) return true;
+      PanelLifetimeIssue issue;
+      issue.kind = state[static_cast<std::size_t>(k)] == State::kReleased
+                       ? released
+                       : never;
+      issue.rank = p;
+      issue.task = t;
+      issue.k = k;
+      report.issues.push_back(issue);
+      return false;
+    };
+    const auto comm_op = [&](const sim::CommOp& op, sim::TaskId t) {
+      if (op.kind == sim::CommOp::Kind::kRecv) {
+        receive(op.k);
+      } else if (owner[static_cast<std::size_t>(op.k)] != p) {
+        // Forward-send of a cached panel (a row leader re-sending what
+        // it just received). The owner's own sends read owned storage
+        // and need no check.
+        check_resident(op.k, t, PanelLifetimeIssue::Kind::kForwardAfterRelease,
+                       PanelLifetimeIssue::Kind::kForwardAfterRelease);
+      }
+    };
+
+    for (const sim::TaskId t : prog.proc_order(p)) {
+      const sim::TaskDef& def = prog.task(t);
+      for (const sim::CommOp& op : def.pre_comms) comm_op(op, t);
+      for (const sim::KernelCall& kc : def.kernels) {
+        if (kc.kind != sim::KernelCall::Kind::kUpdate) continue;
+        if (owner[static_cast<std::size_t>(kc.k)] == p) continue;
+        if (check_resident(kc.k, t,
+                           PanelLifetimeIssue::Kind::kReadAfterRelease,
+                           PanelLifetimeIssue::Kind::kReadBeforeReceive)) {
+          if (--remaining[static_cast<std::size_t>(kc.k)] == 0)
+            state[static_cast<std::size_t>(kc.k)] = State::kReleased;
+        }
+      }
+      for (const sim::CommOp& op : def.post_comms) comm_op(op, t);
+    }
+
+    for (int k = 0; k < nb; ++k) {
+      if (state[static_cast<std::size_t>(k)] != State::kResident) continue;
+      PanelLifetimeIssue issue;
+      issue.kind = PanelLifetimeIssue::Kind::kLeak;
+      issue.rank = p;
+      issue.k = k;
+      report.issues.push_back(issue);
+    }
+  }
+  return report;
+}
+
+}  // namespace sstar::analysis

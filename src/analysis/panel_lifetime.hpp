@@ -1,0 +1,75 @@
+// Panel-lifetime audit: prove the refcounted release protocol of
+// DistBlockStore (core/block_store.hpp) never frees a cached factor
+// panel an access still needs.
+//
+// A distributed rank holds a received Factor(k) panel only between its
+// arrival (the plan's kRecv) and its last consuming Update on that
+// rank; the release point is derived from sim::panel_consumer_counts.
+// This auditor replays every rank's program IN ORDER against those
+// refcounts and flags, deterministically and without executing any
+// numeric work:
+//
+//  * a consuming ScaleSwap+Update pair that runs after the refcount
+//    released the panel (read-after-release) or before any kRecv
+//    delivered it (read-before-receive);
+//  * a forwarding send (a row leader's pre_comms kSend) issued when the
+//    panel is not resident;
+//  * a remote panel still resident when the rank's program ends (a
+//    refcount leak — memory the protocol promised to return).
+//
+// With the plan-derived counts the audit passes on every built program
+// (the release-safety cross-check run by tools/sstar_mp and the test
+// suite). Release overrides mirror DistBlockStore::set_release_override
+// so the negative tests can force an early release and assert the audit
+// names the exact (rank, task, panel) that lost its data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_sim.hpp"
+
+namespace sstar::analysis {
+
+/// One access to a panel that the release protocol cannot serve.
+struct PanelLifetimeIssue {
+  enum class Kind {
+    kReadAfterRelease,   ///< consumed after the refcount hit zero
+    kReadBeforeReceive,  ///< consumed with no delivering recv before it
+    kForwardAfterRelease,///< forward-send of a non-resident panel
+    kLeak,               ///< still resident at end of the rank's program
+  };
+  Kind kind = Kind::kReadAfterRelease;
+  int rank = -1;
+  sim::TaskId task = -1;  ///< -1 for kLeak (no task; end of program)
+  int k = -1;             ///< the panel
+
+  std::string message() const;
+};
+
+struct PanelLifetimeReport {
+  int ranks = 0;
+  int panels = 0;
+  std::int64_t accesses_checked = 0;  ///< consumes + forwards replayed
+  std::vector<PanelLifetimeIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+  std::string summary() const;
+};
+
+/// Release panel k on `rank` after `uses` consuming tasks instead of
+/// the plan-derived count (the audit-side twin of the store's test
+/// hook).
+struct ReleaseOverride {
+  int rank = -1;
+  int k = -1;
+  int uses = 0;
+};
+
+/// Replay `prog` (comm plan attached) against the refcount protocol.
+PanelLifetimeReport audit_panel_lifetimes(
+    const sim::ParallelProgram& prog,
+    const std::vector<ReleaseOverride>& overrides = {});
+
+}  // namespace sstar::analysis

@@ -66,7 +66,7 @@ std::vector<std::uint8_t> serialize_factor_panel(const SStarNumeric& numeric,
   }
   append(out, piv.data(), piv.size());
 
-  const BlockMatrix& data = numeric.data();
+  const BlockStore& data = numeric.data();
   append(out, data.diag(k), static_cast<std::size_t>(w) * w);
   append(out, data.l_panel(k), nr * static_cast<std::size_t>(w));
   return out;
@@ -97,7 +97,27 @@ void apply_factor_panel(SStarNumeric& numeric, int k,
   in = consume(in, piv.data(), piv.size());
   std::vector<int> rows(piv.begin(), piv.end());
 
-  BlockMatrix& data = numeric.data();
+  // Validate the pivot sequence BEFORE touching the receiver's storage:
+  // Theorem 1 confines block k's pivoting to its own panel, so every
+  // pivot of column base+i must be a storage row of the panel — either
+  // in the remaining diagonal range [base+i, base+w) or one of the
+  // panel's L rows. A corrupt/hostile payload is rejected with the
+  // store left untouched.
+  const int base = lay.start(k);
+  const int n = lay.n();
+  for (int i = 0; i < w; ++i) {
+    const int r = rows[static_cast<std::size_t>(i)];
+    const bool in_diag = r >= base + i && r < base + w;
+    const bool in_panel =
+        r >= 0 && r < n && lay.panel_row_index(k, r) >= 0;
+    SSTAR_CHECK_MSG(in_diag || in_panel,
+                    "factor panel for block " << k << ": pivot of column "
+                                              << base + i << " is row " << r
+                                              << ", outside the panel");
+  }
+
+  BlockStore& data = numeric.data();
+  data.on_panel_received(k);
   in = consume(in, data.diag(k), static_cast<std::size_t>(w) * w);
   consume(in, data.l_panel(k), nr * static_cast<std::size_t>(w));
   numeric.adopt_pivots(k, rows.data());

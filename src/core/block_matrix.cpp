@@ -2,11 +2,10 @@
 
 #include <algorithm>
 
-#include "util/check.hpp"
-
 namespace sstar {
 
-BlockMatrix::BlockMatrix(const BlockLayout& layout) : layout_(&layout) {
+PackedBlockStore::PackedBlockStore(const BlockLayout& layout)
+    : BlockStore(layout) {
   const int nb = layout.num_blocks();
   diag_off_.resize(nb);
   l_off_.resize(nb);
@@ -24,48 +23,8 @@ BlockMatrix::BlockMatrix(const BlockLayout& layout) : layout_(&layout) {
   store_.assign(static_cast<std::size_t>(off), 0.0);
 }
 
-void BlockMatrix::clear() { std::fill(store_.begin(), store_.end(), 0.0); }
-
-void BlockMatrix::assemble(const SparseMatrix& a) {
-  SSTAR_CHECK(a.rows() == layout_->n() && a.cols() == layout_->n());
-  clear();
-  for (int j = 0; j < a.cols(); ++j) {
-    for (int k = a.col_begin(j); k < a.col_end(j); ++k) {
-      double* p = entry_ptr(a.row_idx()[k], j);
-      SSTAR_CHECK_MSG(p != nullptr, "entry (" << a.row_idx()[k] << "," << j
-                                              << ") outside static structure");
-      *p = a.values()[k];
-    }
-  }
-}
-
-double* BlockMatrix::entry_ptr(int row, int col) {
-  const BlockLayout& lay = *layout_;
-  const int jb = lay.block_of_column(col);
-  const int ib = lay.block_of_column(row);
-  const int lc = col - lay.start(jb);
-  if (ib == jb) {
-    return diag(jb) + static_cast<std::ptrdiff_t>(lc) * diag_ld(jb) +
-           (row - lay.start(ib));
-  }
-  if (ib > jb) {
-    const int r = lay.panel_row_index(jb, row);
-    if (r < 0) return nullptr;
-    return l_panel(jb) + static_cast<std::ptrdiff_t>(lc) * l_ld(jb) + r;
-  }
-  const int c = lay.panel_col_index(ib, col);
-  if (c < 0) return nullptr;
-  return u_panel(ib) + static_cast<std::ptrdiff_t>(c) * u_ld(ib) +
-         (row - lay.start(ib));
-}
-
-const double* BlockMatrix::entry_ptr(int row, int col) const {
-  return const_cast<BlockMatrix*>(this)->entry_ptr(row, col);
-}
-
-double BlockMatrix::value_at(int row, int col) const {
-  const double* p = entry_ptr(row, col);
-  return p ? *p : 0.0;
+void PackedBlockStore::clear() {
+  std::fill(store_.begin(), store_.end(), 0.0);
 }
 
 }  // namespace sstar

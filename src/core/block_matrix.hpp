@@ -1,6 +1,7 @@
-// Numeric storage for the factorization, laid out per BlockLayout.
+// Packed (monolithic) numeric storage for the factorization.
 //
-// Per supernode b three dense, column-major areas are allocated:
+// Per supernode b three dense, column-major areas are allocated in ONE
+// contiguous arena, laid out per BlockLayout:
 //  - the diagonal block, width(b) x width(b) (unit-lower L triangle and
 //    upper U triangle share it, as in LAPACK's packed LU);
 //  - the L panel, |panel_rows(b)| x width(b) (all L blocks below the
@@ -10,64 +11,51 @@
 // Individual off-diagonal blocks are row ranges of the L panel / column
 // ranges of the U panel (BlockRef), so every Update(k, j) GEMM operates
 // on contiguous-with-stride memory.
+//
+// This is the BlockStore implementation used by the sequential driver
+// and the shared-memory executor (the whole factor lives in one address
+// space); the owner-only per-rank store of the message-passing runtime
+// is DistBlockStore in core/block_store.hpp.
 #pragma once
 
 #include <vector>
 
-#include "matrix/sparse.hpp"
-#include "supernode/block_layout.hpp"
+#include "core/block_store.hpp"
 
 namespace sstar {
 
-class BlockMatrix {
+class PackedBlockStore final : public BlockStore {
  public:
-  explicit BlockMatrix(const BlockLayout& layout);
-
-  const BlockLayout& layout() const { return *layout_; }
-
-  /// Scatter the entries of A into the (zeroed) block storage. Every
-  /// entry of A must lie inside the static structure.
-  void assemble(const SparseMatrix& a);
-
-  /// Reset all values to zero (storage shape is kept).
-  void clear();
+  explicit PackedBlockStore(const BlockLayout& layout);
 
   // --- raw areas --------------------------------------------------------
-  double* diag(int b) { return store_.data() + diag_off_[b]; }
-  const double* diag(int b) const { return store_.data() + diag_off_[b]; }
-  /// Leading dimension of the diagonal block (== width(b)).
-  int diag_ld(int b) const { return layout_->width(b); }
-
-  double* l_panel(int b) { return store_.data() + l_off_[b]; }
-  const double* l_panel(int b) const { return store_.data() + l_off_[b]; }
-  /// Leading dimension of the L panel (== number of panel rows).
-  int l_ld(int b) const {
-    return static_cast<int>(layout_->panel_rows(b).size());
+  double* diag(int b) override { return store_.data() + diag_off_[b]; }
+  double* l_panel(int b) override { return store_.data() + l_off_[b]; }
+  double* u_panel(int b) override { return store_.data() + u_off_[b]; }
+  double* u_block(int i, int offset) override {
+    return store_.data() + u_off_[i] +
+           static_cast<std::ptrdiff_t>(offset) * u_ld(i);
   }
+  using BlockStore::diag;
+  using BlockStore::l_panel;
+  using BlockStore::u_block;
+  using BlockStore::u_panel;
 
-  double* u_panel(int b) { return store_.data() + u_off_[b]; }
-  const double* u_panel(int b) const { return store_.data() + u_off_[b]; }
-  /// Leading dimension of the U panel (== width(b)).
-  int u_ld(int b) const { return layout_->width(b); }
-
-  // --- element addressing (slow; tests and assembly only) ---------------
-  /// Pointer to the storage cell of global (row, col), or nullptr if the
-  /// position is not stored.
-  double* entry_ptr(int row, int col);
-  const double* entry_ptr(int row, int col) const;
-
-  /// Stored value at (row, col); 0 for unstored positions.
-  double value_at(int row, int col) const;
+  void clear() override;
 
   /// Total allocated doubles.
-  std::int64_t size() const { return static_cast<std::int64_t>(store_.size()); }
+  std::int64_t size() const override {
+    return static_cast<std::int64_t>(store_.size());
+  }
 
  private:
-  const BlockLayout* layout_;
   std::vector<double> store_;
   std::vector<std::int64_t> diag_off_;
   std::vector<std::int64_t> l_off_;
   std::vector<std::int64_t> u_off_;
 };
+
+/// Historical name: the packed store predates the BlockStore split.
+using BlockMatrix = PackedBlockStore;
 
 }  // namespace sstar

@@ -11,13 +11,19 @@
 namespace sstar {
 
 SStarNumeric::SStarNumeric(const BlockLayout& layout)
-    : layout_(&layout), data_(layout) {
+    : SStarNumeric(layout, std::make_unique<PackedBlockStore>(layout)) {}
+
+SStarNumeric::SStarNumeric(const BlockLayout& layout,
+                           std::unique_ptr<BlockStore> store)
+    : layout_(&layout), store_(std::move(store)) {
+  SSTAR_CHECK_MSG(store_ != nullptr && &store_->layout() == &layout,
+                  "SStarNumeric: store must be built on the same layout");
   pivot_of_col_.assign(static_cast<std::size_t>(layout.n()), -1);
   factored_.assign(static_cast<std::size_t>(layout.num_blocks()), 0);
 }
 
 void SStarNumeric::assemble(const SparseMatrix& a) {
-  data_.assemble(a);
+  store_->assemble(a);
   std::fill(pivot_of_col_.begin(), pivot_of_col_.end(), -1);
   std::fill(factored_.begin(), factored_.end(), 0);
   stats_ = FactorStats{};
@@ -29,11 +35,11 @@ double SStarNumeric::growth_factor() const {
   double umax = 0.0;
   for (int k = 0; k < lay.num_blocks(); ++k) {
     const int w = lay.width(k);
-    const double* d = data_.diag(k);
+    const double* d = store_->diag(k);
     for (int c = 0; c < w; ++c)
       for (int r = 0; r <= c; ++r)
         umax = std::max(umax, std::fabs(d[static_cast<std::ptrdiff_t>(c) * w + r]));
-    const double* u = data_.u_panel(k);
+    const double* u = store_->u_panel(k);
     const std::int64_t ucount =
         static_cast<std::int64_t>(lay.panel_cols(k).size()) * w;
     for (std::int64_t i = 0; i < ucount; ++i)
@@ -54,9 +60,9 @@ void SStarNumeric::factor_block(int k) {
 #endif
   const int w = lay.width(k);
   const int base = lay.start(k);
-  const int nr = data_.l_ld(k);
-  double* d = data_.diag(k);
-  double* p = data_.l_panel(k);
+  const int nr = store_->l_ld(k);
+  double* d = store_->diag(k);
+  double* p = store_->l_panel(k);
   const auto& prows = lay.panel_rows(k);
   blas::FlopRegion region;
   int off_diagonal_pivots = 0;
@@ -163,24 +169,22 @@ SStarNumeric::RowSlice SStarNumeric::row_slice(int row, int j) {
   const int rb = lay.block_of_column(row);
   RowSlice s;
   if (rb == j) {
-    s.ptr = data_.diag(j) + (row - lay.start(j));
-    s.stride = data_.diag_ld(j);
+    s.ptr = store_->diag(j) + (row - lay.start(j));
+    s.stride = store_->diag_ld(j);
     s.col0 = lay.start(j);
     s.n = lay.width(j);
   } else if (rb < j) {
     const BlockRef* ref = lay.find_u_block(rb, j);
     if (ref == nullptr) return s;  // empty
-    s.ptr = data_.u_panel(rb) +
-            static_cast<std::ptrdiff_t>(ref->offset) * data_.u_ld(rb) +
-            (row - lay.start(rb));
-    s.stride = data_.u_ld(rb);
+    s.ptr = store_->u_block(rb, ref->offset) + (row - lay.start(rb));
+    s.stride = store_->u_ld(rb);
     s.cols = lay.panel_cols(rb).data() + ref->offset;
     s.n = ref->count;
   } else {
     const int r = lay.panel_row_index(j, row);
     if (r < 0) return s;  // row not present in this panel
-    s.ptr = data_.l_panel(j) + r;
-    s.stride = data_.l_ld(j);
+    s.ptr = store_->l_panel(j) + r;
+    s.stride = store_->l_ld(j);
     s.col0 = lay.start(j);
     s.n = lay.width(j);
   }
@@ -242,9 +246,8 @@ void SStarNumeric::update_block(int k, int j) {
                                              << ") on a zero U block");
   const int wk = lay.width(k);
   const int ncols = uref->count;
-  const int uld = data_.u_ld(k);
-  double* ukj = data_.u_panel(k) +
-                static_cast<std::ptrdiff_t>(uref->offset) * uld;
+  const int uld = store_->u_ld(k);
+  double* ukj = store_->u_block(k, uref->offset);
   const int* ucols = lay.panel_cols(k).data() + uref->offset;
   blas::FlopRegion region;
   // Scratch is thread-local, not a member: concurrent Update tasks on
@@ -256,19 +259,24 @@ void SStarNumeric::update_block(int k, int j) {
   SSTAR_AUDIT_RECORD(k, j, analysis::Access::kWrite);
 
   // U_kj = L_kk^{-1} U_kj.
-  blas::dtrsm_lower_unit(wk, ncols, data_.diag(k), wk, ukj, uld);
+  blas::dtrsm_lower_unit(wk, ncols, store_->diag(k), wk, ukj, uld);
 
   // A_ij -= L_ik * U_kj for every nonzero L block below the diagonal.
   const int jstart = lay.start(j);
   for (const BlockRef& lref : lay.l_blocks(k)) {
     const int i = lref.block;
     const int mrows = lref.count;
-    const double* lik = data_.l_panel(k) + lref.offset;
-    const int lld = data_.l_ld(k);
+    const double* lik = store_->l_panel(k) + lref.offset;
+    const int lld = store_->l_ld(k);
+    // The (i, j) U target slice, if any: needed both for the scatter
+    // below (distributed stores only hold per-slice U storage, so the
+    // destination must be addressed as u_block(i, tref->offset)) and
+    // for the audit's write-set record.
+    const BlockRef* tref = i < j ? lay.find_u_block(i, j) : nullptr;
 #ifdef SSTAR_AUDIT_ENABLED
     SSTAR_AUDIT_RECORD(i, k, analysis::Access::kRead);
     const bool target_present =
-        i == j || (i < j ? lay.find_u_block(i, j) != nullptr
+        i == j || (i < j ? tref != nullptr
                          : lay.find_l_block(i, j) != nullptr);
     if (target_present) SSTAR_AUDIT_RECORD(i, j, analysis::Access::kWrite);
 #endif
@@ -281,8 +289,8 @@ void SStarNumeric::update_block(int k, int j) {
     const int* grows = lay.panel_rows(k).data() + lref.offset;
     if (i == j) {
       // Target: dense diagonal block of j.
-      double* dj = data_.diag(j);
-      const int dld = data_.diag_ld(j);
+      double* dj = store_->diag(j);
+      const int dld = store_->diag_ld(j);
       for (int c = 0; c < ncols; ++c) {
         const int tc = ucols[c] - jstart;
         double* dst = dj + static_cast<std::ptrdiff_t>(tc) * dld;
@@ -291,12 +299,16 @@ void SStarNumeric::update_block(int k, int j) {
         for (int r = 0; r < mrows; ++r) dst[grows[r] - jstart] -= src[r];
       }
     } else if (i < j) {
-      // Target: U panel of block i. Map columns once; rows are direct.
+      // Target: the (i, j) slice of block i's U storage. Map columns
+      // once; rows are direct. Every structurally present column of
+      // the product lands inside tref's range, so the slice base
+      // pointer from u_block() covers all writes (true for both the
+      // packed and the per-slice distributed store).
       row_map_.resize(static_cast<std::size_t>(ncols));
       for (int c = 0; c < ncols; ++c)
         row_map_[c] = lay.panel_col_index(i, ucols[c]);
-      double* up = data_.u_panel(i);
-      const int upld = data_.u_ld(i);
+      double* up = tref ? store_->u_block(i, tref->offset) : nullptr;
+      const int upld = store_->u_ld(i);
       const int istart = lay.start(i);
       for (int c = 0; c < ncols; ++c) {
         const int tc = row_map_[c];
@@ -308,7 +320,10 @@ void SStarNumeric::update_block(int k, int j) {
           for (int r = 0; r < mrows; ++r) SSTAR_DCHECK(src[r] == 0.0);
           continue;
         }
-        double* dst = up + static_cast<std::ptrdiff_t>(tc) * upld;
+        SSTAR_DCHECK(tref != nullptr && tc >= tref->offset &&
+                     tc < tref->offset + tref->count);
+        double* dst =
+            up + static_cast<std::ptrdiff_t>(tc - tref->offset) * upld;
         for (int r = 0; r < mrows; ++r) dst[grows[r] - istart] -= src[r];
       }
     } else {
@@ -316,8 +331,8 @@ void SStarNumeric::update_block(int k, int j) {
       row_map_.resize(static_cast<std::size_t>(mrows));
       for (int r = 0; r < mrows; ++r)
         row_map_[r] = lay.panel_row_index(j, grows[r]);
-      double* lp = data_.l_panel(j);
-      const int lpld = data_.l_ld(j);
+      double* lp = store_->l_panel(j);
+      const int lpld = store_->l_ld(j);
       for (int c = 0; c < ncols; ++c) {
         const int tc = ucols[c] - jstart;
         double* dst = lp + static_cast<std::ptrdiff_t>(tc) * lpld;
@@ -355,8 +370,8 @@ void SStarNumeric::forward_block(int k, std::vector<double>& b) const {
   const BlockLayout& lay = *layout_;
   const int w = lay.width(k);
   const int base = lay.start(k);
-  const double* d = data_.diag(k);
-  const double* p = data_.l_panel(k);
+  const double* d = store_->diag(k);
+  const double* p = store_->l_panel(k);
   const auto& prows = lay.panel_rows(k);
   const int nr = static_cast<int>(prows.size());
   // Apply the block's row interchanges first (the stored block L is in
@@ -382,8 +397,8 @@ void SStarNumeric::backward_block(int k, std::vector<double>& b) const {
   const BlockLayout& lay = *layout_;
   const int w = lay.width(k);
   const int base = lay.start(k);
-  const double* d = data_.diag(k);
-  const double* u = data_.u_panel(k);
+  const double* d = store_->diag(k);
+  const double* u = store_->u_panel(k);
   const auto& pcols = lay.panel_cols(k);
   const int nc = static_cast<int>(pcols.size());
   for (int ml = w - 1; ml >= 0; --ml) {
@@ -427,11 +442,11 @@ void SStarNumeric::solve_multi(double* b, int nrhs) const {
       if (t != m)
         blas::dswap(nrhs, b + m, b + t, n, n);
     }
-    blas::dtrsm_lower_unit(w, nrhs, data_.diag(k), w, b + base, n);
+    blas::dtrsm_lower_unit(w, nrhs, store_->diag(k), w, b + base, n);
     if (nr > 0) {
       work.resize(static_cast<std::size_t>(nr) *
                   static_cast<std::size_t>(nrhs));
-      blas::dgemm(nr, nrhs, w, 1.0, data_.l_panel(k), nr, b + base, n, 0.0,
+      blas::dgemm(nr, nrhs, w, 1.0, store_->l_panel(k), nr, b + base, n, 0.0,
                   work.data(), nr);
       for (int c = 0; c < nrhs; ++c) {
         double* bc = b + static_cast<std::ptrdiff_t>(c) * n;
@@ -456,10 +471,10 @@ void SStarNumeric::solve_multi(double* b, int nrhs) const {
         double* wc = work.data() + static_cast<std::ptrdiff_t>(c) * nc;
         for (int i = 0; i < nc; ++i) wc[i] = bc[pcols[i]];
       }
-      blas::dgemm(w, nrhs, nc, -1.0, data_.u_panel(k), w, work.data(), nc,
+      blas::dgemm(w, nrhs, nc, -1.0, store_->u_panel(k), w, work.data(), nc,
                   1.0, b + base, n);
     }
-    blas::dtrsm_upper(w, nrhs, data_.diag(k), w, b + base, n);
+    blas::dtrsm_upper(w, nrhs, store_->diag(k), w, b + base, n);
   }
 }
 
@@ -477,8 +492,8 @@ std::vector<double> SStarNumeric::solve_transpose(
   for (int k = 0; k < lay.num_blocks(); ++k) {
     const int w = lay.width(k);
     const int base = lay.start(k);
-    const double* d = data_.diag(k);
-    const double* u = data_.u_panel(k);
+    const double* d = store_->diag(k);
+    const double* u = store_->u_panel(k);
     const auto& pcols = lay.panel_cols(k);
     const int nc = static_cast<int>(pcols.size());
     for (int ml = 0; ml < w; ++ml) {
@@ -501,8 +516,8 @@ std::vector<double> SStarNumeric::solve_transpose(
   for (int k = lay.num_blocks() - 1; k >= 0; --k) {
     const int w = lay.width(k);
     const int base = lay.start(k);
-    const double* d = data_.diag(k);
-    const double* p = data_.l_panel(k);
+    const double* d = store_->diag(k);
+    const double* p = store_->l_panel(k);
     const auto& prows = lay.panel_rows(k);
     const int nr = static_cast<int>(prows.size());
     for (int ml = w - 1; ml >= 0; --ml) {
@@ -535,9 +550,9 @@ void SStarNumeric::reconstruct_pa_lu(std::vector<int>* perm, DenseMatrix* l,
   for (int k = 0; k < lay.num_blocks(); ++k) {
     const int w = lay.width(k);
     const int base = lay.start(k);
-    const double* d = data_.diag(k);
-    const double* p = data_.l_panel(k);
-    const double* uu = data_.u_panel(k);
+    const double* d = store_->diag(k);
+    const double* p = store_->l_panel(k);
+    const double* uu = store_->u_panel(k);
     const auto& prows = lay.panel_rows(k);
     const auto& pcols = lay.panel_cols(k);
     const int nr = static_cast<int>(prows.size());

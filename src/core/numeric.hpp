@@ -23,11 +23,13 @@
 // rebuild the conventional PA = LU triple for verification.
 #pragma once
 
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "blas/flops.hpp"
 #include "core/block_matrix.hpp"
+#include "core/block_store.hpp"
 
 namespace sstar {
 
@@ -44,7 +46,16 @@ struct FactorStats {
 
 class SStarNumeric {
  public:
+  /// Packed storage (the whole factor in one arena): the sequential
+  /// driver's and shared-memory executor's configuration.
   explicit SStarNumeric(const BlockLayout& layout);
+
+  /// Run the kernels over an explicit store — this is how a
+  /// message-passing rank gets owner-only storage (a DistBlockStore):
+  /// Factor/ScaleSwap/Update address blocks only through the BlockStore
+  /// interface, so they run identically over either implementation.
+  /// `store->layout()` must be `layout`.
+  SStarNumeric(const BlockLayout& layout, std::unique_ptr<BlockStore> store);
 
   /// Load A's values (A must match the layout's static structure).
   void assemble(const SparseMatrix& a);
@@ -98,8 +109,8 @@ class SStarNumeric {
   /// 2^(n-1), tiny in practice).
   double growth_factor() const;
   const BlockLayout& layout() const { return *layout_; }
-  BlockMatrix& data() { return data_; }
-  const BlockMatrix& data() const { return data_; }
+  BlockStore& data() { return *store_; }
+  const BlockStore& data() const { return *store_; }
 
   /// Rebuild the conventional PA = LU triple (dense; test sizes only):
   /// perm maps original storage row -> pivoted position, l is unit lower
@@ -113,7 +124,7 @@ class SStarNumeric {
   void swap_rows_in_block(int m, int t, int j);
 
   const BlockLayout* layout_;
-  BlockMatrix data_;
+  std::unique_ptr<BlockStore> store_;
   std::vector<int> pivot_of_col_;
   FactorStats stats_;
   std::mutex stats_mu_;             // kernels may run on exec:: workers

@@ -1,8 +1,6 @@
 #include "exec/lu_mp.hpp"
 
-#include <algorithm>
 #include <cstring>
-#include <limits>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -19,35 +17,11 @@ namespace sstar::exec {
 
 namespace {
 
-// Overwrite every storage cell of the column blocks `rank` does NOT own
-// with NaN. Column block j's matrix-columns are diag(j), l_panel(j),
-// and the column-of-j slice of u_panel(i) for every U block (i, j); the
-// owner-computes discipline says no kernel on this rank ever reads
-// them, and poisoning turns a violation into a loud bitwise mismatch
-// instead of a silent coincidence. Received factor panels overwrite the
-// poison for exactly the blocks the plan delivers.
-void poison_unowned_columns(SStarNumeric& num, const std::vector<int>& owner,
-                            int rank) {
-  const BlockLayout& lay = num.layout();
-  BlockMatrix& d = num.data();
-  const double nan = std::numeric_limits<double>::quiet_NaN();
-  for (int b = 0; b < lay.num_blocks(); ++b) {
-    if (owner[static_cast<std::size_t>(b)] != rank) {
-      const int w = lay.width(b);
-      std::fill_n(d.diag(b), static_cast<std::size_t>(d.diag_ld(b)) * w, nan);
-      std::fill_n(d.l_panel(b), static_cast<std::size_t>(d.l_ld(b)) * w, nan);
-    }
-    for (const BlockRef& ref : lay.u_blocks(b)) {
-      if (owner[static_cast<std::size_t>(ref.block)] == rank) continue;
-      std::fill_n(d.u_panel(b) +
-                      static_cast<std::ptrdiff_t>(ref.offset) * d.u_ld(b),
-                  static_cast<std::size_t>(ref.count) * d.u_ld(b), nan);
-    }
-  }
-}
-
 // One rank's SPMD program: program order, blocking receives at first
-// use, kernel interpretation against the local replica.
+// use, kernel interpretation against the rank's owner-only store.
+// (Unowned storage simply does not exist on the rank — DistBlockStore
+// throws on any undeclared remote access, the structural successor of
+// the NaN-poisoning this runtime used over full replicas.)
 //
 // Deadlock freedom (why recv-at-first-use cannot cycle): schedules
 // respect the task DAG, so a rank blocked at task T waiting for panel k
@@ -58,10 +32,8 @@ void poison_unowned_columns(SStarNumeric& num, const std::vector<int>& owner,
 // descends a well-founded order of (scheduled position, multicast hop)
 // and grounds out in some Factor task with no unmet needs.
 void run_rank(const sim::ParallelProgram& prog, int rank, SStarNumeric& num,
-              const SparseMatrix& a, const std::vector<int>& owner,
-              comm::Transport& tp) {
-  num.assemble(a);
-  poison_unowned_columns(num, owner, rank);
+              const SparseMatrix& a, comm::Transport& tp) {
+  num.assemble(a);  // a DistBlockStore scatters only its owned columns
 
   // Tracing: this rank's thread records on lane `rank`; each task's
   // kernel spans and transport events carry the program task id.
@@ -88,6 +60,10 @@ void run_rank(const sim::ParallelProgram& prog, int rank, SStarNumeric& num,
       } else {
         num.scale_swap(kc.k, kc.j);
         num.update_block(kc.k, kc.j);
+        // One consuming use of panel k done; after the rank's last
+        // declared consumer the cached panel is freed (no-op for
+        // owned panels or packed stores).
+        num.data().on_panel_consumed(kc.k);
       }
     }
     for (const sim::CommOp& op : def.post_comms) {
@@ -117,6 +93,18 @@ std::int64_t MpStats::total_bytes() const {
   return n;
 }
 
+std::int64_t MpStats::peak_store_bytes_total() const {
+  std::int64_t n = 0;
+  for (const RankMemoryStats& m : memory) n += m.peak_bytes;
+  return n;
+}
+
+int MpStats::panels_leaked() const {
+  int n = 0;
+  for (const RankMemoryStats& m : memory) n += m.resident_panels;
+  return n;
+}
+
 MpStats execute_program_mp(const sim::ParallelProgram& prog,
                            const SparseMatrix& a, SStarNumeric& result,
                            const MpOptions& opt) {
@@ -143,11 +131,27 @@ MpStats execute_program_mp(const sim::ParallelProgram& prog,
                                                          << " ranks, program "
                                                          << ranks);
 
-  // Private replica per rank: the rank's "local memory".
+  // Per-rank "local memory": an SStarNumeric over an owner-only
+  // DistBlockStore — the rank's mapped column blocks plus a refcounted
+  // cache for received factor panels (refcounts from the comm plan).
+  const std::vector<std::vector<int>> uses = sim::panel_consumer_counts(prog);
   std::vector<std::unique_ptr<SStarNumeric>> replicas;
+  std::vector<DistBlockStore*> stores;  // non-owning views into replicas
   replicas.reserve(static_cast<std::size_t>(ranks));
-  for (int r = 0; r < ranks; ++r)
-    replicas.push_back(std::make_unique<SStarNumeric>(lay));
+  stores.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    DistBlockStore::Options so;
+    so.rank = r;
+    so.owner = owner;
+    so.consumer_uses.reserve(uses.size());
+    for (const std::vector<int>& per_rank : uses)
+      so.consumer_uses.push_back(per_rank[static_cast<std::size_t>(r)]);
+    auto store = std::make_unique<DistBlockStore>(lay, std::move(so));
+    stores.push_back(store.get());
+    if (opt.store_hook) opt.store_hook(r, *store);
+    replicas.push_back(
+        std::make_unique<SStarNumeric>(lay, std::move(store)));
+  }
 
   std::mutex err_mu;
   std::exception_ptr root_cause;       // a rank's own failure
@@ -159,8 +163,7 @@ MpStats execute_program_mp(const sim::ParallelProgram& prog,
   for (int r = 0; r < ranks; ++r) {
     threads.emplace_back([&, r] {
       try {
-        run_rank(prog, r, *replicas[static_cast<std::size_t>(r)], a, owner,
-                 *tp);
+        run_rank(prog, r, *replicas[static_cast<std::size_t>(r)], a, *tp);
       } catch (const comm::TransportError&) {
         const std::lock_guard<std::mutex> lock(err_mu);
         if (!any_failure) any_failure = std::current_exception();
@@ -181,10 +184,12 @@ MpStats execute_program_mp(const sim::ParallelProgram& prog,
   if (root_cause) std::rethrow_exception(root_cause);
   if (any_failure) std::rethrow_exception(any_failure);
 
-  // Merge: each supernode's factor columns from their owner's replica.
-  // All slices are contiguous storage runs, so the copies are bitwise.
+  // Merge: each supernode's factor columns, gathered from their owner's
+  // store into the caller's (packed) result. Every area is a contiguous
+  // storage run addressed identically in both stores — u_block(k, off)
+  // with ld = width(k) — so the copies are bitwise.
   result.assemble(a);
-  BlockMatrix& out = result.data();
+  BlockStore& out = result.data();
   for (int k = 0; k < lay.num_blocks(); ++k) {
     const SStarNumeric& src = *replicas[static_cast<std::size_t>(
         owner[static_cast<std::size_t>(k)])];
@@ -197,9 +202,8 @@ MpStats execute_program_mp(const sim::ParallelProgram& prog,
     for (const BlockRef& ref : lay.u_blocks(k)) {
       const SStarNumeric& col_owner = *replicas[static_cast<std::size_t>(
           owner[static_cast<std::size_t>(ref.block)])];
-      const std::ptrdiff_t off =
-          static_cast<std::ptrdiff_t>(ref.offset) * out.u_ld(k);
-      std::memcpy(out.u_panel(k) + off, col_owner.data().u_panel(k) + off,
+      std::memcpy(out.u_block(k, ref.offset),
+                  col_owner.data().u_block(k, ref.offset),
                   static_cast<std::size_t>(ref.count) * out.u_ld(k) *
                       sizeof(double));
     }
@@ -208,7 +212,19 @@ MpStats execute_program_mp(const sim::ParallelProgram& prog,
   MpStats stats;
   stats.seconds = seconds;
   stats.rank_stats.reserve(static_cast<std::size_t>(ranks));
-  for (int r = 0; r < ranks; ++r) stats.rank_stats.push_back(tp->stats(r));
+  stats.memory.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    stats.rank_stats.push_back(tp->stats(r));
+    const DistBlockStore& s = *stores[static_cast<std::size_t>(r)];
+    MpStats::RankMemoryStats m;
+    m.owned_bytes = s.owned_doubles() * 8;
+    m.peak_cache_bytes = s.peak_cache_doubles() * 8;
+    m.peak_bytes = s.peak_doubles() * 8;
+    m.peak_panels_cached = s.peak_panels_cached();
+    m.resident_panels =
+        static_cast<int>(s.resident_remote_panels().size());
+    stats.memory.push_back(m);
+  }
   return stats;
 }
 

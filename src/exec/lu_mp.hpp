@@ -3,18 +3,23 @@
 // This is the distributed-memory execution model the paper actually
 // targets, realized in one process: every virtual processor of a
 // ParallelProgram becomes a RANK driven by its own thread, owning a
-// private SStarNumeric replica in which only its mapped column blocks
-// are valid (everything unowned is poisoned with NaN, so an undeclared
-// remote read cannot go unnoticed — it corrupts the factors and the
-// bitwise differential tests catch it). Ranks share no numeric state;
-// the ONLY way data moves is the transport:
+// private SStarNumeric built over a DistBlockStore — storage for its
+// mapped column blocks ONLY, plus a refcounted cache of received factor
+// panels that frees each panel after its last consuming Update
+// (core/block_store.hpp). Distribution honesty is structural: an
+// undeclared remote read is an out-of-store lookup that throws with
+// rank/block diagnostics, it cannot silently read a replica. Ranks
+// share no numeric state; the ONLY way data moves is the transport:
 //
 //   Factor(k)    — runs on owner(k); its post_comms send the serialized
 //                  panel (diag + L panel + pivot sequence, comm/serialize)
 //                  to every consumer per the plan of sim/comm_plan;
 //   Update(k,j)  — blocks in recv() at the consuming rank's first use of
-//                  panel k, applies the payload into the local replica,
-//                  then executes ScaleSwap+Update against local storage.
+//                  panel k, materializes the payload in the rank's panel
+//                  cache, then executes ScaleSwap+Update against local
+//                  storage; the cached panel is freed after the rank's
+//                  last Update that consumes it (sim::panel_consumer_counts
+//                  supplies the refcount).
 //
 // Because every rank executes its program order and the per-column
 // kernel sequence equals the sequential one, the merged factors are
@@ -30,9 +35,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "comm/transport.hpp"
+#include "core/block_store.hpp"
 #include "core/numeric.hpp"
 #include "matrix/sparse.hpp"
 #include "sim/event_sim.hpp"
@@ -48,13 +55,34 @@ struct MpOptions {
   /// ranks() == program processors; stats are read back from it.
   /// nullptr = a fresh InProcTransport per call.
   comm::Transport* transport = nullptr;
+  /// TEST HOOK: called once per rank on its freshly built store, before
+  /// any rank thread starts (e.g. to force an early panel release with
+  /// set_release_override and prove the failure is caught loudly).
+  std::function<void(int rank, DistBlockStore& store)> store_hook;
 };
 
 struct MpStats {
+  /// One rank's store footprint over the run (bytes = doubles * 8).
+  struct RankMemoryStats {
+    std::int64_t owned_bytes = 0;       ///< fixed owner-area allocation
+    std::int64_t peak_cache_bytes = 0;  ///< panel-cache high water
+    std::int64_t peak_bytes = 0;        ///< owned + cache high water
+    int peak_panels_cached = 0;
+    /// Remote panels still resident after the run — a refcount leak;
+    /// must be 0 (tools/sstar_mp fails verification otherwise).
+    int resident_panels = 0;
+  };
+
   double seconds = 0.0;  ///< wall time, rank launch to last join
   std::vector<comm::RankCommStats> rank_stats;
+  std::vector<RankMemoryStats> memory;  ///< per rank
   std::int64_t total_messages() const;
   std::int64_t total_bytes() const;
+  /// Sum over ranks of peak_bytes — the machine-wide store footprint,
+  /// comparable against the sequential PackedBlockStore size.
+  std::int64_t peak_store_bytes_total() const;
+  /// Sum over ranks of resident_panels (0 on a leak-free run).
+  int panels_leaked() const;
 };
 
 /// Execute `prog` (built WITHOUT numeric closures; the kernels are

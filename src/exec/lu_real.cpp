@@ -101,8 +101,8 @@ bool factors_bitwise_equal(const SStarNumeric& a, const SStarNumeric& b) {
     return false;
   if (a.pivot_of_col() != b.pivot_of_col()) return false;
 
-  const BlockMatrix& da = a.data();
-  const BlockMatrix& db = b.data();
+  const BlockStore& da = a.data();
+  const BlockStore& db = b.data();
   auto same = [](const double* x, const double* y, std::int64_t count) {
     // memcmp: bitwise, not numeric — distinguishes -0.0/0.0 and NaNs.
     return count == 0 ||

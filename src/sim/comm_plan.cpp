@@ -36,6 +36,24 @@ std::vector<int> panel_owners(const ParallelProgram& prog) {
   return owner;
 }
 
+std::vector<std::vector<int>> panel_consumer_counts(
+    const ParallelProgram& prog) {
+  const std::vector<int> owner = panel_owners(prog);
+  std::vector<std::vector<int>> counts(
+      owner.size(),
+      std::vector<int>(static_cast<std::size_t>(prog.processors()), 0));
+  for (int p = 0; p < prog.processors(); ++p) {
+    for (const TaskId t : prog.proc_order(p)) {
+      for (const KernelCall& kc : prog.task(t).kernels) {
+        if (kc.kind != KernelCall::Kind::kUpdate) continue;
+        if (owner[static_cast<std::size_t>(kc.k)] == p) continue;
+        counts[static_cast<std::size_t>(kc.k)][static_cast<std::size_t>(p)]++;
+      }
+    }
+  }
+  return counts;
+}
+
 void attach_panel_comms(ParallelProgram& prog, const Grid& grid) {
   SSTAR_CHECK_MSG(grid.size() == prog.processors(),
                   "comm plan grid " << grid.rows << "x" << grid.cols

@@ -40,6 +40,17 @@ namespace sstar::sim {
 /// mentioned by any kernel.
 std::vector<int> panel_owners(const ParallelProgram& prog);
 
+/// counts[k][r] = number of kUpdate kernel calls rank r runs against a
+/// REMOTE panel k (0 when r owns k: owned storage never expires). This
+/// is the consumer refcount a DistBlockStore starts a cached panel at —
+/// the panel's last use on the rank is its r-th consuming Update, so
+/// decrementing per Update releases exactly after the last declared
+/// consumer. Forward-sends are safe: a row leader forwards in the
+/// pre_comms of its FIRST consuming task, before any decrement.
+/// counts[k].size() == prog.processors() for every panel k.
+std::vector<std::vector<int>> panel_consumer_counts(
+    const ParallelProgram& prog);
+
 /// Attach panel send/recv descriptors to `prog`'s tasks (clearing any
 /// previously attached plan first). `grid` must satisfy
 /// grid.size() == prog.processors(); ranks are numbered row-major

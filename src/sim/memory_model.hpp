@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "sim/event_sim.hpp"
 #include "sim/machine.hpp"
 #include "supernode/block_layout.hpp"
 
@@ -36,5 +38,31 @@ MemoryFootprint data_distribution_2d(const BlockLayout& layout,
 /// buffers: (C p_c + R (p_r - 1)) bytes with C, R the largest local
 /// column/row panel shares.
 double buffer_bound_2d(const BlockLayout& layout, const Grid& grid);
+
+/// Exact per-rank store footprint of a built MP program executed over
+/// DistBlockStore (core/block_store.hpp): the fixed owner-area bytes
+/// plus the panel-cache high water obtained by replaying the program's
+/// comm plan against the refcounted release protocol. This is the
+/// PREDICTION the measured MpStats::memory is validated against — the
+/// replay is deterministic, so predicted == measured bit-for-bit
+/// (tests/test_mp_memory, bench/bench_mp).
+struct MpMemoryPrediction {
+  struct Rank {
+    std::int64_t owned_bytes = 0;
+    std::int64_t peak_cache_bytes = 0;
+    std::int64_t peak_bytes = 0;  ///< owned + cache high water
+    int peak_panels_cached = 0;
+  };
+  std::vector<Rank> ranks;
+
+  std::int64_t total_peak_bytes() const {
+    std::int64_t n = 0;
+    for (const Rank& r : ranks) n += r.peak_bytes;
+    return n;
+  }
+};
+
+MpMemoryPrediction predict_mp_memory(const BlockLayout& layout,
+                                     const ParallelProgram& prog);
 
 }  // namespace sstar::sim

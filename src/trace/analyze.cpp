@@ -33,6 +33,10 @@ PhaseBreakdown phase_breakdown(const Trace& trace) {
   b.lanes.resize(static_cast<std::size_t>(trace.num_lanes));
   std::vector<std::set<int>> lane_tasks(
       static_cast<std::size_t>(trace.num_lanes));
+  // Running remote-panel cache size per lane; the trace is time-sorted,
+  // so one pass reproduces each lane's alloc/free sequence.
+  std::vector<std::int64_t> cache_bytes(
+      static_cast<std::size_t>(trace.num_lanes), 0);
   for (const TraceEvent& e : trace.events) {
     b.makespan = std::max(b.makespan, e.t1);
     const auto ki = static_cast<std::size_t>(e.kind);
@@ -48,6 +52,11 @@ PhaseBreakdown phase_breakdown(const Trace& trace) {
       lane.sent_bytes += e.bytes;
       b.total_sent_bytes += e.bytes;
       b.sends += 1;
+    } else if (is_panel_cache(e.kind)) {
+      std::int64_t& cur = cache_bytes[static_cast<std::size_t>(e.lane)];
+      cur += e.kind == EventKind::kPanelAlloc ? e.bytes : -e.bytes;
+      lane.panel_cache_peak_bytes =
+          std::max(lane.panel_cache_peak_bytes, cur);
     } else {
       lane.comm_wait += e.t1 - e.t0;
       lane.recv_bytes += e.bytes;
@@ -99,7 +108,8 @@ std::string breakdown_table(const PhaseBreakdown& b) {
      << "\n";
   os << "spans: F=" << b.kind_count[0] << " S=" << b.kind_count[1]
      << " U=" << b.kind_count[2] << " send=" << b.kind_count[3]
-     << " recv=" << b.kind_count[4] << "; total flops " << b.total_flops
+     << " recv=" << b.kind_count[4] << " palloc=" << b.kind_count[5]
+     << " pfree=" << b.kind_count[6] << "; total flops " << b.total_flops
      << "; bytes sent " << b.total_sent_bytes << " / received "
      << b.total_recv_bytes << "\n";
   return os.str();

@@ -29,6 +29,10 @@ struct PhaseBreakdown {
     std::int64_t flops = 0;  ///< flops recorded by this lane's kernels
     std::int64_t sent_bytes = 0;
     std::int64_t recv_bytes = 0;
+    /// High-water mark of this lane's remote-panel cache, from the
+    /// running sum of kPanelAlloc/kPanelFree bytes (0 when the run had
+    /// no distributed store).
+    std::int64_t panel_cache_peak_bytes = 0;
     int tasks = 0;  ///< distinct tagged task ids seen on this lane
   };
 
@@ -40,8 +44,8 @@ struct PhaseBreakdown {
   std::int64_t sends = 0;
   std::int64_t recvs = 0;
   /// Per-kind span counts indexed by EventKind.
-  std::int64_t kind_count[5] = {0, 0, 0, 0, 0};
-  double kind_seconds[5] = {0.0, 0.0, 0.0, 0.0, 0.0};
+  std::int64_t kind_count[7] = {0, 0, 0, 0, 0, 0, 0};
+  double kind_seconds[7] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
 
   double total_compute() const;
   double total_comm_wait() const;

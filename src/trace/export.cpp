@@ -30,8 +30,15 @@ const char* kind_tag(EventKind k) {
     case EventKind::kUpdate: return "update";
     case EventKind::kSend: return "send";
     case EventKind::kRecvWait: return "recv";
+    case EventKind::kPanelAlloc: return "panel_alloc";
+    case EventKind::kPanelFree: return "panel_free";
   }
   return "?";
+}
+
+// Instant (zero-duration) event kinds: exported with ph:"i".
+bool is_instant(EventKind k) {
+  return k == EventKind::kSend || is_panel_cache(k);
 }
 
 EventKind kind_from_tag(const std::string& s) {
@@ -40,6 +47,8 @@ EventKind kind_from_tag(const std::string& s) {
   if (s == "update") return EventKind::kUpdate;
   if (s == "send") return EventKind::kSend;
   if (s == "recv") return EventKind::kRecvWait;
+  if (s == "panel_alloc") return EventKind::kPanelAlloc;
+  if (s == "panel_free") return EventKind::kPanelFree;
   throw CheckError("chrome trace: unknown event kind tag '" + s + "'");
 }
 
@@ -245,12 +254,14 @@ std::string chrome_trace_json(const Trace& trace,
   for (const TraceEvent& e : trace.events) {
     if (!first) os << ",\n";
     first = false;
-    os << "{\"name\":\"" << event_label(e) << "\",\"cat\":\""
-       << (is_kernel(e.kind) ? "compute" : "comm") << "\",\"ph\":\""
-       << (e.kind == EventKind::kSend ? "i" : "X") << "\",\"ts\":"
+    const char* cat = is_kernel(e.kind)        ? "compute"
+                      : is_panel_cache(e.kind) ? "memory"
+                                               : "comm";
+    os << "{\"name\":\"" << event_label(e) << "\",\"cat\":\"" << cat
+       << "\",\"ph\":\"" << (is_instant(e.kind) ? "i" : "X") << "\",\"ts\":"
        << us(e.t0);
-    if (e.kind != EventKind::kSend) os << ",\"dur\":" << us(e.t1 - e.t0);
-    if (e.kind == EventKind::kSend) os << ",\"s\":\"t\"";
+    if (!is_instant(e.kind)) os << ",\"dur\":" << us(e.t1 - e.t0);
+    if (is_instant(e.kind)) os << ",\"s\":\"t\"";
     os << ",\"pid\":0,\"tid\":" << e.lane << ",\"args\":{\"kind\":\""
        << kind_tag(e.kind) << "\",\"task\":" << e.task << ",\"k\":" << e.k
        << ",\"j\":" << e.j << ",\"peer\":" << e.peer

@@ -15,6 +15,10 @@ bool is_kernel(EventKind k) {
          k == EventKind::kUpdate;
 }
 
+bool is_panel_cache(EventKind k) {
+  return k == EventKind::kPanelAlloc || k == EventKind::kPanelFree;
+}
+
 const char* kind_name(EventKind k) {
   switch (k) {
     case EventKind::kFactor: return "F";
@@ -22,6 +26,8 @@ const char* kind_name(EventKind k) {
     case EventKind::kUpdate: return "U";
     case EventKind::kSend: return "send";
     case EventKind::kRecvWait: return "recv";
+    case EventKind::kPanelAlloc: return "palloc";
+    case EventKind::kPanelFree: return "pfree";
   }
   return "?";
 }

@@ -42,14 +42,19 @@ enum class EventKind : std::uint8_t {
   kFactor,    ///< Factor(k) kernel span (j == k)
   kScale,     ///< ScaleSwap(k, j) kernel span
   kUpdate,    ///< Update(k, j) kernel span
-  kSend,      ///< transport send: instant event, bytes = payload size
-  kRecvWait,  ///< transport recv: span from call to match, bytes matched
+  kSend,        ///< transport send: instant event, bytes = payload size
+  kRecvWait,    ///< transport recv: span from call to match, bytes matched
+  kPanelAlloc,  ///< DistBlockStore cached a remote panel: instant, bytes
+  kPanelFree,   ///< DistBlockStore released a cached panel: instant, bytes
 };
 
 /// True for the three kernel span kinds.
 bool is_kernel(EventKind k);
 
-/// "F", "S", "U", "send", "recv".
+/// True for the panel-cache instant kinds (alloc/free).
+bool is_panel_cache(EventKind k);
+
+/// "F", "S", "U", "send", "recv", "palloc", "pfree".
 const char* kind_name(EventKind k);
 
 struct TraceEvent {

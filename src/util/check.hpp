@@ -45,6 +45,17 @@ namespace detail {
     }                                                                  \
   } while (0)
 
+/// Unconditional failure with a streamed message (always throws
+/// CheckError). For code paths that are errors by construction, e.g.
+/// out-of-store accesses on a distributed block store.
+#define SSTAR_FAIL(msg)                                                \
+  do {                                                                 \
+    std::ostringstream os_;                                            \
+    os_ << msg;                                                        \
+    ::sstar::detail::check_failed("failure", __FILE__, __LINE__,       \
+                                  os_.str());                          \
+  } while (0)
+
 #ifdef NDEBUG
 #define SSTAR_DCHECK(expr) ((void)0)
 #else

@@ -290,11 +290,22 @@ TEST(MpSerialize, ForgedPivotRowRejected) {
   auto bytes = comm::serialize_factor_panel(*sf.sender, sf.k);
   // Pivot entries start at byte offset 16. Row 0 is above this block's
   // diagonal range (base > 0) and can never be one of its panel rows,
-  // so a forged pivot pointing there must trip adopt_pivots().
+  // so the payload must be rejected BEFORE any data reaches the
+  // receiver's store.
   const std::int32_t forged = 0;
   std::memcpy(bytes.data() + 16, &forged, sizeof forged);
   const auto num = sf.receiver();
-  expect_check_failure(*num, sf.k, bytes, "neither in rows");
+  const double before = num->data().value_at(sf.f.layout->start(sf.k),
+                                             sf.f.layout->start(sf.k));
+  expect_check_failure(*num, sf.k, bytes, "outside the panel");
+  // The rejected payload wrote nothing: storage still holds A's value.
+  EXPECT_EQ(num->data().value_at(sf.f.layout->start(sf.k),
+                                 sf.f.layout->start(sf.k)),
+            before);
+  for (int i = 0; i < sf.f.layout->width(sf.k); ++i)
+    EXPECT_EQ(num->pivot_of_col()[static_cast<std::size_t>(
+                  sf.f.layout->start(sf.k) + i)],
+              -1);
 }
 
 }  // namespace

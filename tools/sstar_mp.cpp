@@ -6,21 +6,28 @@
 //
 // Builds the requested SPMD program (1D compute-ahead / graph-scheduled
 // or 2D async / sync), executes it with one thread per rank over the
-// in-process transport (exec/lu_mp) — private numeric replicas, real
-// factor-panel sends/receives — then:
+// in-process transport (exec/lu_mp) — per-rank owner-only stores
+// (DistBlockStore), real factor-panel sends/receives — then:
 //   * prints a per-rank message/byte traffic table,
 //   * factors the same matrix sequentially and verifies the merged
 //     distributed factors are BITWISE-identical (exit 1 if not),
+//   * fails verification if any rank still holds a cached remote panel
+//     after the run (a release-protocol leak),
 //   * checks an end-to-end solve residual,
+//   * with --memory, prints a per-rank store table (owned bytes, cache
+//     high water, panels cached) against the sim/memory_model
+//     prediction and the sequential packed-store total,
 //   * with --audit (needs a -DSSTAR_AUDIT=ON build), records every
 //     kernel block access during the distributed run and cross-validates
-//     against the program's declared access sets and ordering.
+//     against the program's declared access sets and ordering; the
+//     static panel-lifetime audit (release-safety of the panel cache)
+//     runs unconditionally.
 //
 // Flags: --suite=NAME --scale=S --grid=N --seed=S --ordering=... and
 //        --max-block=N --amalg=N as in sstar_solve_cli;
 //        --ranks=P, --mapping=1d|2d, --schedule=ca|graph (1D),
 //        --sync (2D barrier variant), --shape=RxC (2D grid shape),
-//        --watchdog=SECONDS, --audit,
+//        --watchdog=SECONDS, --audit, --memory,
 //        --trace=PATH (write a Chrome trace_event JSON of the MP run;
 //        analyze it with sstar_trace --load=PATH)
 #include <algorithm>
@@ -33,6 +40,7 @@
 #include <vector>
 
 #include "analysis/audit.hpp"
+#include "analysis/panel_lifetime.hpp"
 #include "core/lu_1d.hpp"
 #include "core/lu_2d.hpp"
 #include "core/task_graph.hpp"
@@ -43,6 +51,7 @@
 #include "matrix/io.hpp"
 #include "matrix/suite.hpp"
 #include "sched/list_schedule.hpp"
+#include "sim/memory_model.hpp"
 #include "solve/solver.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
@@ -64,6 +73,7 @@ int main(int argc, char** argv) {
   sim::Grid shape{0, 0};
   double watchdog = 120.0;
   bool audit = false;
+  bool memory = false;
   std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -117,6 +127,8 @@ int main(int argc, char** argv) {
       watchdog = std::atof(arg.c_str() + 11);
     } else if (arg == "--audit") {
       audit = true;
+    } else if (arg == "--memory") {
+      memory = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(8);
     } else if (arg.rfind("--", 0) == 0) {
@@ -248,6 +260,59 @@ int main(int argc, char** argv) {
     std::printf("\nbitwise vs sequential:       %s\n",
                 bitwise ? "IDENTICAL" : "MISMATCH");
     failures += bitwise ? 0 : 1;
+
+    // Leak detector: after a finished program every received panel must
+    // have been released by its last consuming Update.
+    const int leaked = st.panels_leaked();
+    std::printf("panel cache leak check:      %s\n",
+                leaked == 0
+                    ? "CLEAN (every cached panel released)"
+                    : "LEAK");
+    if (leaked != 0) {
+      for (std::size_t r = 0; r < st.memory.size(); ++r)
+        if (st.memory[r].resident_panels > 0)
+          std::printf("  !! rank %zu still holds %d cached panel(s)\n", r,
+                      st.memory[r].resident_panels);
+      ++failures;
+    }
+
+    // Static release-safety audit: replay the plan's refcounts against
+    // each rank's program order.
+    const analysis::PanelLifetimeReport lifetimes =
+        analysis::audit_panel_lifetimes(prog);
+    std::printf("panel lifetime audit:        %s\n",
+                lifetimes.summary().c_str());
+    failures += lifetimes.ok() ? 0 : 1;
+
+    if (memory) {
+      const sim::MpMemoryPrediction pred =
+          sim::predict_mp_memory(layout, prog);
+      const std::int64_t seq_bytes = ref.data().size() * 8;
+      std::printf("\n%-6s %14s %14s %12s %14s %14s\n", "rank", "owned B",
+                  "peak cache B", "peak panels", "peak B", "predicted B");
+      bool match = true;
+      std::int64_t total_peak = 0;
+      for (std::size_t r = 0; r < st.memory.size(); ++r) {
+        const exec::MpStats::RankMemoryStats& ms = st.memory[r];
+        const sim::MpMemoryPrediction::Rank& pr = pred.ranks[r];
+        total_peak += ms.peak_bytes;
+        match = match && ms.peak_bytes == pr.peak_bytes;
+        std::printf("%-6zu %14lld %14lld %12d %14lld %14lld\n", r,
+                    static_cast<long long>(ms.owned_bytes),
+                    static_cast<long long>(ms.peak_cache_bytes),
+                    ms.peak_panels_cached,
+                    static_cast<long long>(ms.peak_bytes),
+                    static_cast<long long>(pr.peak_bytes));
+      }
+      std::printf("total peak %lld B = %.2fx the sequential packed store "
+                  "(%lld B); prediction %s\n",
+                  static_cast<long long>(total_peak),
+                  seq_bytes > 0 ? static_cast<double>(total_peak) / seq_bytes
+                                : 0.0,
+                  static_cast<long long>(seq_bytes),
+                  match ? "EXACT" : "MISMATCH");
+      failures += match ? 0 : 1;
+    }
 
     // End-to-end solve on the merged factors.
     Rng rng(seed);
