@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "blas/kernel_backend.hpp"
 #include "matrix/hb_io.hpp"
 #include "matrix/io.hpp"
 #include "util/check.hpp"
@@ -151,6 +152,7 @@ int main(int argc, char** argv) {
                     fmt_count(solver.layout().num_blocks())});
     report.add_row({"BLAS-3 flop share",
                     fmt_percent(solver.stats().blas3_fraction(), 1)});
+    report.add_row({"kernel backend", blas::kernel_backend_summary()});
     report.add_row({"off-diagonal pivots",
                     fmt_count(solver.stats().off_diagonal_pivots)});
     report.add_row({"pivot growth",

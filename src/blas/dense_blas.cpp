@@ -1,10 +1,9 @@
 #include "blas/dense_blas.hpp"
 
 #include <cmath>
-#include <cstring>
 
 #include "blas/flops.hpp"
-#include "util/check.hpp"
+#include "blas/kernel_backend.hpp"
 
 namespace sstar::blas {
 
@@ -57,37 +56,18 @@ void dswap(int n, double* x, double* y, int incx, int incy) {
 
 void dgemv(int m, int n, double alpha, const double* a, int lda,
            const double* x, double beta, double* y) {
-  if (m <= 0) return;
-  if (beta == 0.0) {
-    for (int i = 0; i < m; ++i) y[i] = 0.0;
-  } else if (beta != 1.0) {
-    for (int i = 0; i < m; ++i) y[i] *= beta;
-  }
-  for (int j = 0; j < n; ++j) {
-    const double xj = alpha * x[j];
-    if (xj == 0.0) continue;
-    const double* col = a + static_cast<std::ptrdiff_t>(j) * lda;
-    for (int i = 0; i < m; ++i) y[i] += xj * col[i];
-  }
-  flop_counter().blas2 +=
-      2ULL * static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n);
+  active_kernel_ops().dgemv(m, n, alpha, a, lda, x, beta, y);
+  if (m > 0 && n > 0)
+    flop_counter().blas2 +=
+        2ULL * static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n);
 }
 
 void dger(int m, int n, double alpha, const double* x, const double* y,
           double* a, int lda, int incx, int incy) {
-  for (int j = 0; j < n; ++j) {
-    const double yj = alpha * y[static_cast<std::ptrdiff_t>(j) * incy];
-    if (yj == 0.0) continue;
-    double* col = a + static_cast<std::ptrdiff_t>(j) * lda;
-    if (incx == 1) {
-      for (int i = 0; i < m; ++i) col[i] += x[i] * yj;
-    } else {
-      for (int i = 0; i < m; ++i)
-        col[i] += x[static_cast<std::ptrdiff_t>(i) * incx] * yj;
-    }
-  }
-  flop_counter().blas2 +=
-      2ULL * static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n);
+  active_kernel_ops().dger(m, n, alpha, x, y, a, lda, incx, incy);
+  if (m > 0 && n > 0)
+    flop_counter().blas2 +=
+        2ULL * static_cast<std::uint64_t>(m) * static_cast<std::uint64_t>(n);
 }
 
 void dtrsv_lower_unit(int n, const double* a, int lda, double* x) {
@@ -115,16 +95,7 @@ void dtrsv_upper(int n, const double* a, int lda, double* x) {
 
 void dtrsm_lower_unit(int n, int m, const double* a, int lda, double* b,
                       int ldb) {
-  // Column-at-a-time forward substitution over the block right-hand side.
-  for (int c = 0; c < m; ++c) {
-    double* x = b + static_cast<std::ptrdiff_t>(c) * ldb;
-    for (int j = 0; j < n; ++j) {
-      const double xj = x[j];
-      if (xj == 0.0) continue;
-      const double* col = a + static_cast<std::ptrdiff_t>(j) * lda;
-      for (int i = j + 1; i < n; ++i) x[i] -= xj * col[i];
-    }
-  }
+  active_kernel_ops().dtrsm_lower_unit(n, m, a, lda, b, ldb);
   flop_counter().blas3 += static_cast<std::uint64_t>(n) *
                           static_cast<std::uint64_t>(n) *
                           static_cast<std::uint64_t>(m);
@@ -132,91 +103,19 @@ void dtrsm_lower_unit(int n, int m, const double* a, int lda, double* b,
 
 void dtrsm_upper(int n, int m, const double* a, int lda, double* b,
                  int ldb) {
-  for (int c = 0; c < m; ++c) {
-    double* x = b + static_cast<std::ptrdiff_t>(c) * ldb;
-    for (int j = n - 1; j >= 0; --j) {
-      const double* col = a + static_cast<std::ptrdiff_t>(j) * lda;
-      x[j] /= col[j];
-      const double xj = x[j];
-      if (xj == 0.0) continue;
-      for (int i = 0; i < j; ++i) x[i] -= xj * col[i];
-    }
-  }
+  active_kernel_ops().dtrsm_upper(n, m, a, lda, b, ldb);
   flop_counter().blas3 += static_cast<std::uint64_t>(n) *
                           static_cast<std::uint64_t>(n) *
                           static_cast<std::uint64_t>(m);
 }
 
-namespace {
-
-// Micro-kernel tile sizes. 4x4 register tiles with a k-loop keeps the
-// inner loop in registers on any x86-64 without intrinsics.
-constexpr int kMr = 4;
-constexpr int kNr = 4;
-
-// C (mr x nr tile) += A(m x k) row tile * B(k x n) col tile, general
-// edge-safe version.
-inline void gemm_tile(int mr, int nr, int k, const double* a, int lda,
-                      const double* b, int ldb, double* c, int ldc) {
-  double acc[kMr][kNr] = {};
-  for (int p = 0; p < k; ++p) {
-    const double* ap = a + static_cast<std::ptrdiff_t>(p) * lda;
-    const double* bp = b + p;
-    for (int j = 0; j < nr; ++j) {
-      const double bv = bp[static_cast<std::ptrdiff_t>(j) * ldb];
-      for (int i = 0; i < mr; ++i) acc[i][j] += ap[i] * bv;
-    }
-  }
-  for (int j = 0; j < nr; ++j) {
-    double* cc = c + static_cast<std::ptrdiff_t>(j) * ldc;
-    for (int i = 0; i < mr; ++i) cc[i] += acc[i][j];
-  }
-}
-
-}  // namespace
-
 void dgemm(int m, int n, int k, double alpha, const double* a, int lda,
            const double* b, int ldb, double beta, double* c, int ldc) {
-  if (m <= 0 || n <= 0) return;
-  if (beta == 0.0) {
-    for (int j = 0; j < n; ++j)
-      std::memset(c + static_cast<std::ptrdiff_t>(j) * ldc, 0,
-                  sizeof(double) * static_cast<std::size_t>(m));
-  } else if (beta != 1.0) {
-    for (int j = 0; j < n; ++j) {
-      double* cc = c + static_cast<std::ptrdiff_t>(j) * ldc;
-      for (int i = 0; i < m; ++i) cc[i] *= beta;
-    }
-  }
-  if (k <= 0 || alpha == 0.0) return;
-
-  if (alpha == 1.0) {
-    for (int j0 = 0; j0 < n; j0 += kNr) {
-      const int nr = n - j0 < kNr ? n - j0 : kNr;
-      for (int i0 = 0; i0 < m; i0 += kMr) {
-        const int mr = m - i0 < kMr ? m - i0 : kMr;
-        gemm_tile(mr, nr, k, a + i0, lda,
-                  b + static_cast<std::ptrdiff_t>(j0) * ldb, ldb,
-                  c + i0 + static_cast<std::ptrdiff_t>(j0) * ldc, ldc);
-      }
-    }
-  } else {
-    // General alpha path (rare in this codebase: updates use alpha = -1
-    // via pre-negated A or explicit subtraction by caller).
-    for (int j = 0; j < n; ++j) {
-      double* cc = c + static_cast<std::ptrdiff_t>(j) * ldc;
-      const double* bc = b + static_cast<std::ptrdiff_t>(j) * ldb;
-      for (int p = 0; p < k; ++p) {
-        const double bv = alpha * bc[p];
-        if (bv == 0.0) continue;
-        const double* ac = a + static_cast<std::ptrdiff_t>(p) * lda;
-        for (int i = 0; i < m; ++i) cc[i] += bv * ac[i];
-      }
-    }
-  }
-  flop_counter().blas3 += 2ULL * static_cast<std::uint64_t>(m) *
-                          static_cast<std::uint64_t>(n) *
-                          static_cast<std::uint64_t>(k);
+  active_kernel_ops().dgemm(m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+  if (m > 0 && n > 0)
+    flop_counter().blas3 += 2ULL * static_cast<std::uint64_t>(m) *
+                            static_cast<std::uint64_t>(n) *
+                            static_cast<std::uint64_t>(k);
 }
 
 }  // namespace sstar::blas

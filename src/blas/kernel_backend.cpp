@@ -1,0 +1,207 @@
+#include "blas/kernel_backend.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "blas/kernels/kernels.hpp"
+#include "util/check.hpp"
+
+#if defined(__linux__) && (defined(__aarch64__) || defined(__arm__))
+#include <sys/auxv.h>
+#endif
+
+namespace sstar::blas {
+
+namespace {
+
+// Compile-time availability: which TUs carry real code in this build.
+const KernelOps* compiled_ops(KernelBackend b) {
+  switch (b) {
+    case KernelBackend::kScalar:
+      return kernels::scalar_ops();
+    case KernelBackend::kAvx2:
+      return kernels::avx2_ops();
+    case KernelBackend::kAvx512:
+      return kernels::avx512_ops();
+    case KernelBackend::kNeon:
+      return kernels::neon_ops();
+  }
+  return nullptr;
+}
+
+// Runtime CPU capability. On x86 the libgcc/compiler-rt feature probe
+// behind __builtin_cpu_supports also checks XCR0, i.e. that the OS
+// saves the AVX/AVX-512 register state.
+bool cpu_supports(KernelBackend b) {
+  switch (b) {
+    case KernelBackend::kScalar:
+      return true;
+    case KernelBackend::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case KernelBackend::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("avx512vl");
+#else
+      return false;
+#endif
+    case KernelBackend::kNeon:
+#if defined(__aarch64__)
+      return true;  // Advanced SIMD is architecturally mandatory
+#elif defined(__linux__) && defined(__arm__) && defined(HWCAP_NEON)
+      return (getauxval(AT_HWCAP) & HWCAP_NEON) != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+// The dispatch pointer. Null until the first resolution; reads on the
+// kernel hot path are a single relaxed atomic load.
+std::atomic<const KernelOps*> g_active{nullptr};
+std::atomic<KernelBackend> g_active_kind{KernelBackend::kScalar};
+std::once_flag g_init_once;
+
+void install(KernelBackend b) {
+  const KernelOps* ops = compiled_ops(b);
+  SSTAR_CHECK_MSG(ops != nullptr && cpu_supports(b),
+                  "kernel backend " << kernel_backend_name(b)
+                                    << " is not supported on this host");
+  g_active_kind.store(b, std::memory_order_relaxed);
+  g_active.store(ops, std::memory_order_release);
+}
+
+// Resolve the SSTAR_KERNEL_BACKEND override / auto-detection exactly
+// once, at first kernel use.
+void init_from_environment() {
+  const char* env = std::getenv("SSTAR_KERNEL_BACKEND");
+  if (env == nullptr || *env == '\0' || std::string_view(env) == "auto") {
+    install(best_kernel_backend());
+    return;
+  }
+  const std::string_view want(env);
+  if (want == "simd") {
+    // Best non-scalar backend; scalar (with a note) when the host has
+    // none, so pinned-SIMD CI lanes still pass on plain hardware.
+    const KernelBackend best = best_kernel_backend();
+    if (best == KernelBackend::kScalar)
+      std::fprintf(stderr,
+                   "sstar: SSTAR_KERNEL_BACKEND=simd but no SIMD backend is "
+                   "supported on this host; using scalar kernels\n");
+    install(best);
+    return;
+  }
+  const std::optional<KernelBackend> parsed = parse_kernel_backend(want);
+  SSTAR_CHECK_MSG(parsed.has_value(),
+                  "SSTAR_KERNEL_BACKEND=\""
+                      << env
+                      << "\" is not a kernel backend (expected scalar, avx2, "
+                         "avx512, neon, simd or auto)");
+  if (!kernel_backend_supported(*parsed)) {
+    std::fprintf(stderr,
+                 "sstar: SSTAR_KERNEL_BACKEND=%s is not supported on this "
+                 "host; using scalar kernels\n",
+                 env);
+    install(KernelBackend::kScalar);
+    return;
+  }
+  install(*parsed);
+}
+
+void ensure_init() {
+  std::call_once(g_init_once, init_from_environment);
+}
+
+}  // namespace
+
+const char* kernel_backend_name(KernelBackend b) {
+  switch (b) {
+    case KernelBackend::kScalar:
+      return "scalar";
+    case KernelBackend::kAvx2:
+      return "avx2";
+    case KernelBackend::kAvx512:
+      return "avx512";
+    case KernelBackend::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+std::optional<KernelBackend> parse_kernel_backend(std::string_view name) {
+  if (name == "scalar") return KernelBackend::kScalar;
+  if (name == "avx2") return KernelBackend::kAvx2;
+  if (name == "avx512") return KernelBackend::kAvx512;
+  if (name == "neon") return KernelBackend::kNeon;
+  return std::nullopt;
+}
+
+bool kernel_backend_supported(KernelBackend b) {
+  return compiled_ops(b) != nullptr && cpu_supports(b);
+}
+
+std::vector<KernelBackend> supported_kernel_backends() {
+  std::vector<KernelBackend> v;
+  for (const KernelBackend b :
+       {KernelBackend::kScalar, KernelBackend::kNeon, KernelBackend::kAvx2,
+        KernelBackend::kAvx512})
+    if (kernel_backend_supported(b)) v.push_back(b);
+  return v;
+}
+
+KernelBackend best_kernel_backend() {
+  if (kernel_backend_supported(KernelBackend::kAvx512))
+    return KernelBackend::kAvx512;
+  if (kernel_backend_supported(KernelBackend::kAvx2))
+    return KernelBackend::kAvx2;
+  if (kernel_backend_supported(KernelBackend::kNeon))
+    return KernelBackend::kNeon;
+  return KernelBackend::kScalar;
+}
+
+KernelBackend active_kernel_backend() {
+  ensure_init();
+  return g_active_kind.load(std::memory_order_relaxed);
+}
+
+bool set_kernel_backend(KernelBackend b) {
+  ensure_init();
+  if (!kernel_backend_supported(b)) return false;
+  install(b);
+  return true;
+}
+
+const KernelOps& active_kernel_ops() {
+  const KernelOps* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    ensure_init();
+    ops = g_active.load(std::memory_order_acquire);
+  }
+  return *ops;
+}
+
+const KernelOps* kernel_ops_for(KernelBackend b) {
+  if (!kernel_backend_supported(b)) return nullptr;
+  return compiled_ops(b);
+}
+
+std::string kernel_backend_summary() {
+  std::ostringstream os;
+  os << kernel_backend_name(active_kernel_backend()) << " (supported:";
+  for (const KernelBackend b : supported_kernel_backends())
+    os << ' ' << kernel_backend_name(b);
+  os << ')';
+  return os.str();
+}
+
+}  // namespace sstar::blas

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace sstar {
 
 PackedBlockStore::PackedBlockStore(const BlockLayout& layout)
@@ -21,6 +23,7 @@ PackedBlockStore::PackedBlockStore(const BlockLayout& layout)
     off += w * static_cast<std::int64_t>(layout.panel_cols(b).size());
   }
   store_.assign(static_cast<std::size_t>(off), 0.0);
+  SSTAR_DCHECK(is_arena_aligned(store_.data()));
 }
 
 void PackedBlockStore::clear() {

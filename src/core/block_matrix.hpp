@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/block_store.hpp"
+#include "util/aligned.hpp"
 
 namespace sstar {
 
@@ -49,7 +50,7 @@ class PackedBlockStore final : public BlockStore {
   }
 
  private:
-  std::vector<double> store_;
+  AlignedDoubles store_;  // 64-byte-aligned base (SIMD kernels)
   std::vector<std::int64_t> diag_off_;
   std::vector<std::int64_t> l_off_;
   std::vector<std::int64_t> u_off_;

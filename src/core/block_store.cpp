@@ -85,6 +85,7 @@ DistBlockStore::DistBlockStore(const BlockLayout& layout, Options opt)
     }
   }
   arena_.assign(static_cast<std::size_t>(off), 0.0);
+  SSTAR_DCHECK(is_arena_aligned(arena_.data()));
   owned_doubles_ = off;
 }
 
@@ -182,6 +183,7 @@ void DistBlockStore::on_panel_received(int k) {
                                     << k << " but the comm plan declares no "
                                        "consuming task on this rank");
   e.data.assign(static_cast<std::size_t>(panel_doubles(k)), 0.0);
+  SSTAR_DCHECK(is_arena_aligned(e.data.data()));
   e.remaining = uses;
   e.state = PanelState::kResident;
   cache_doubles_ += panel_doubles(k);
@@ -209,7 +211,7 @@ void DistBlockStore::on_panel_consumed(int k) {
 
 void DistBlockStore::release_panel(int k) {
   CacheEntry& e = cache_[static_cast<std::size_t>(k)];
-  e.data = std::vector<double>();  // actually free, not just clear
+  e.data = AlignedDoubles();  // actually free, not just clear
   e.state = PanelState::kReleased;
   cache_doubles_ -= panel_doubles(k);
   panels_cached_ -= 1;

@@ -39,6 +39,7 @@
 
 #include "matrix/sparse.hpp"
 #include "supernode/block_layout.hpp"
+#include "util/aligned.hpp"
 
 namespace sstar {
 
@@ -196,7 +197,7 @@ class DistBlockStore final : public BlockStore {
  private:
   enum class PanelState : std::uint8_t { kNeverReceived, kResident, kReleased };
   struct CacheEntry {
-    std::vector<double> data;  // diag (w*w) then L panel (nr*w)
+    AlignedDoubles data;  // diag (w*w) then L panel (nr*w), 64B-aligned
     int remaining = 0;         // consuming uses until release
     PanelState state = PanelState::kNeverReceived;
   };
@@ -212,7 +213,7 @@ class DistBlockStore final : public BlockStore {
 
   int rank_ = 0;
   std::vector<int> owner_;
-  std::vector<double> arena_;                 // owned areas, contiguous
+  AlignedDoubles arena_;                      // owned areas, contiguous, 64B-aligned
   std::vector<std::int64_t> diag_off_;        // -1 when not owned
   std::vector<std::int64_t> l_off_;           // -1 when not owned
   std::vector<std::vector<USlice>> u_slices_; // per row block, owned slices

@@ -281,73 +281,138 @@ void SStarNumeric::update_block(int k, int j) {
     if (target_present) SSTAR_AUDIT_RECORD(i, j, analysis::Access::kWrite);
 #endif
 
-    work_.resize(static_cast<std::size_t>(mrows) *
-                 static_cast<std::size_t>(ncols));
-    blas::dgemm(mrows, ncols, wk, 1.0, lik, lld, ukj, uld, 0.0, work_.data(),
-                mrows);
-
     const int* grows = lay.panel_rows(k).data() + lref.offset;
+
+    // Packed-tile fast path: when the target row AND column maps are
+    // contiguous, the whole product accumulates with ONE fused
+    // dgemm(alpha = -1, beta = 1) straight into the target — no scratch
+    // buffer, no indexed scatter, and the kernel backend's blocked
+    // microkernel runs at full speed. Eligibility depends only on the
+    // layout (never on values), so every executor makes the same choice
+    // for the same task; and since (-a)*b is the exact negation of a*b
+    // (rounding is sign-symmetric), the fused path subtracts bitwise
+    // the same column sums the scatter path would, preserving the
+    // per-backend determinism contract. Ragged slices (split columns /
+    // padded rows) take the original scatter path below.
+    // contiguous() is valid for the strictly increasing panel index
+    // lists: the span equals the count exactly when nothing is skipped.
+    const auto contiguous = [](const int* v, int n) {
+      return v[n - 1] - v[0] == n - 1;
+    };
+    double* fused_dst = nullptr;  // non-null => fast path
+    int fused_ld = 0;
     if (i == j) {
-      // Target: dense diagonal block of j.
-      double* dj = store_->diag(j);
-      const int dld = store_->diag_ld(j);
-      for (int c = 0; c < ncols; ++c) {
-        const int tc = ucols[c] - jstart;
-        double* dst = dj + static_cast<std::ptrdiff_t>(tc) * dld;
-        const double* src = work_.data() + static_cast<std::ptrdiff_t>(c) *
-                                               mrows;
-        for (int r = 0; r < mrows; ++r) dst[grows[r] - jstart] -= src[r];
+      // Dense diagonal block: every row/column lands, so endpoint
+      // contiguity alone decides.
+      if (contiguous(grows, mrows) && contiguous(ucols, ncols)) {
+        fused_ld = store_->diag_ld(j);
+        fused_dst = store_->diag(j) +
+                    static_cast<std::ptrdiff_t>(ucols[0] - jstart) * fused_ld +
+                    (grows[0] - jstart);
       }
     } else if (i < j) {
-      // Target: the (i, j) slice of block i's U storage. Map columns
-      // once; rows are direct. Every structurally present column of
-      // the product lands inside tref's range, so the slice base
-      // pointer from u_block() covers all writes (true for both the
-      // packed and the per-slice distributed store).
+      // Columns go through the panel map of i (entries may be absent);
+      // the map itself must be the identity-contiguous run starting at
+      // tref->offset... any absent column breaks it. Rows are direct.
       row_map_.resize(static_cast<std::size_t>(ncols));
-      for (int c = 0; c < ncols; ++c)
-        row_map_[c] = lay.panel_col_index(i, ucols[c]);
-      double* up = tref ? store_->u_block(i, tref->offset) : nullptr;
-      const int upld = store_->u_ld(i);
-      const int istart = lay.start(i);
+      bool cols_ok = tref != nullptr;
       for (int c = 0; c < ncols; ++c) {
-        const int tc = row_map_[c];
-        const double* src = work_.data() + static_cast<std::ptrdiff_t>(c) *
-                                               mrows;
-        if (tc < 0) {
-          // Structurally zero column: all contributions must be zero
-          // (padded-row x padded-col products only).
-          for (int r = 0; r < mrows; ++r) SSTAR_DCHECK(src[r] == 0.0);
-          continue;
-        }
-        SSTAR_DCHECK(tref != nullptr && tc >= tref->offset &&
-                     tc < tref->offset + tref->count);
-        double* dst =
-            up + static_cast<std::ptrdiff_t>(tc - tref->offset) * upld;
-        for (int r = 0; r < mrows; ++r) dst[grows[r] - istart] -= src[r];
+        row_map_[c] = lay.panel_col_index(i, ucols[c]);
+        cols_ok = cols_ok && row_map_[c] == row_map_[0] + c;
+      }
+      if (cols_ok && row_map_[0] >= 0 && contiguous(grows, mrows)) {
+        fused_ld = store_->u_ld(i);
+        fused_dst =
+            store_->u_block(i, tref->offset) +
+            static_cast<std::ptrdiff_t>(row_map_[0] - tref->offset) *
+                fused_ld +
+            (grows[0] - lay.start(i));
       }
     } else {
-      // Target: L panel of block j. Map rows once; columns are direct.
+      // Rows go through the panel map of j; columns are direct.
       row_map_.resize(static_cast<std::size_t>(mrows));
-      for (int r = 0; r < mrows; ++r)
+      bool rows_ok = true;
+      for (int r = 0; r < mrows; ++r) {
         row_map_[r] = lay.panel_row_index(j, grows[r]);
-      double* lp = store_->l_panel(j);
-      const int lpld = store_->l_ld(j);
-      for (int c = 0; c < ncols; ++c) {
-        const int tc = ucols[c] - jstart;
-        double* dst = lp + static_cast<std::ptrdiff_t>(tc) * lpld;
-        const double* src = work_.data() + static_cast<std::ptrdiff_t>(c) *
-                                               mrows;
-        for (int r = 0; r < mrows; ++r) {
-          if (row_map_[r] < 0) {
-            SSTAR_DCHECK(src[r] == 0.0);
+        rows_ok = rows_ok && row_map_[r] == row_map_[0] + r;
+      }
+      if (rows_ok && row_map_[0] >= 0 && contiguous(ucols, ncols)) {
+        fused_ld = store_->l_ld(j);
+        fused_dst = store_->l_panel(j) +
+                    static_cast<std::ptrdiff_t>(ucols[0] - jstart) * fused_ld +
+                    row_map_[0];
+      }
+    }
+
+    if (fused_dst != nullptr) {
+      blas::dgemm(mrows, ncols, wk, -1.0, lik, lld, ukj, uld, 1.0, fused_dst,
+                  fused_ld);
+    } else {
+      work_.resize(static_cast<std::size_t>(mrows) *
+                   static_cast<std::size_t>(ncols));
+      blas::dgemm(mrows, ncols, wk, 1.0, lik, lld, ukj, uld, 0.0,
+                  work_.data(), mrows);
+
+      if (i == j) {
+        // Target: dense diagonal block of j.
+        double* dj = store_->diag(j);
+        const int dld = store_->diag_ld(j);
+        for (int c = 0; c < ncols; ++c) {
+          const int tc = ucols[c] - jstart;
+          double* dst = dj + static_cast<std::ptrdiff_t>(tc) * dld;
+          const double* src = work_.data() + static_cast<std::ptrdiff_t>(c) *
+                                                 mrows;
+          for (int r = 0; r < mrows; ++r) dst[grows[r] - jstart] -= src[r];
+        }
+      } else if (i < j) {
+        // Target: the (i, j) slice of block i's U storage. Columns were
+        // mapped above; rows are direct. Every structurally present
+        // column of the product lands inside tref's range, so the slice
+        // base pointer from u_block() covers all writes (true for both
+        // the packed and the per-slice distributed store).
+        double* up = tref ? store_->u_block(i, tref->offset) : nullptr;
+        const int upld = store_->u_ld(i);
+        const int istart = lay.start(i);
+        for (int c = 0; c < ncols; ++c) {
+          const int tc = row_map_[c];
+          const double* src = work_.data() + static_cast<std::ptrdiff_t>(c) *
+                                                 mrows;
+          if (tc < 0) {
+            // Structurally zero column: all contributions must be zero
+            // (padded-row x padded-col products only).
+            for (int r = 0; r < mrows; ++r) SSTAR_DCHECK(src[r] == 0.0);
             continue;
           }
-          dst[row_map_[r]] -= src[r];
+          SSTAR_DCHECK(tref != nullptr && tc >= tref->offset &&
+                       tc < tref->offset + tref->count);
+          double* dst =
+              up + static_cast<std::ptrdiff_t>(tc - tref->offset) * upld;
+          for (int r = 0; r < mrows; ++r) dst[grows[r] - istart] -= src[r];
+        }
+      } else {
+        // Target: L panel of block j. Rows were mapped above; columns
+        // are direct.
+        double* lp = store_->l_panel(j);
+        const int lpld = store_->l_ld(j);
+        for (int c = 0; c < ncols; ++c) {
+          const int tc = ucols[c] - jstart;
+          double* dst = lp + static_cast<std::ptrdiff_t>(tc) * lpld;
+          const double* src = work_.data() + static_cast<std::ptrdiff_t>(c) *
+                                                 mrows;
+          for (int r = 0; r < mrows; ++r) {
+            if (row_map_[r] < 0) {
+              SSTAR_DCHECK(src[r] == 0.0);
+              continue;
+            }
+            dst[row_map_[r]] -= src[r];
+          }
         }
       }
     }
-    // Scatter subtraction cost (one flop per updated cell).
+    // Per-cell subtraction cost: the scatter's indexed subtract, or the
+    // fused GEMM's beta = 1 accumulate epilogue — one flop per updated
+    // cell either way, and counting it identically in both paths keeps
+    // the machine model's predicted-vs-measured validation path-blind.
     blas::flop_counter().blas1 += static_cast<std::uint64_t>(mrows) *
                                   static_cast<std::uint64_t>(ncols);
   }

@@ -1,0 +1,68 @@
+// 64-byte-aligned allocation for numeric arenas.
+//
+// The SIMD kernel backends (src/blas/kernels) issue 32/64-byte vector
+// loads; arenas whose base sits on a cache-line boundary avoid split
+// loads on the leading columns and make the packed-tile fast paths
+// (DESIGN.md §12) start aligned. Every BlockStore arena — the packed
+// store, the distributed owned arena, and the remote-panel cache — is
+// allocated through this allocator, and debug builds assert the
+// alignment at construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace sstar {
+
+/// Alignment of every numeric arena, in bytes (one x86 cache line; also
+/// the widest vector width we dispatch, AVX-512).
+inline constexpr std::size_t kArenaAlignment = 64;
+
+template <class T, std::size_t Align = kArenaAlignment>
+struct AlignedAllocator {
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of 2");
+  static_assert(Align >= alignof(T), "alignment below the type's natural one");
+
+  using value_type = T;
+
+  // Explicit rebind: the non-type Align parameter defeats the default
+  // allocator_traits rebind (which only rewrites type parameters).
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() noexcept = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t(Align));
+  }
+
+  template <class U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+  template <class U>
+  bool operator!=(const AlignedAllocator<U, Align>&) const noexcept {
+    return false;
+  }
+};
+
+/// Arena storage type: a std::vector of doubles whose data() is 64-byte
+/// aligned (for a non-empty vector).
+using AlignedDoubles = std::vector<double, AlignedAllocator<double>>;
+
+/// True if p sits on a kArenaAlignment boundary (vacuously for null).
+inline bool is_arena_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kArenaAlignment == 0;
+}
+
+}  // namespace sstar

@@ -160,6 +160,49 @@ TEST(Gemm, BetaZeroOverwritesNanFree) {
   for (const double v : c) EXPECT_FALSE(std::isnan(v));
 }
 
+TEST(Gemv, BetaZeroOverwritesNanFree) {
+  // beta == 0 is assignment: y must be written, never read, no matter
+  // what garbage (NaN) it holds on entry.
+  const int m = 7, n = 5;
+  auto a = random_vec(m * n, 3);
+  auto x = random_vec(n, 4);
+  std::vector<double> y(static_cast<std::size_t>(m), std::nan(""));
+  dgemv(m, n, 1.0, a.data(), m, x.data(), 0.0, y.data());
+  for (const double v : y) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(Gemv, AlphaZeroSkipsNanInput) {
+  // alpha == 0 must not touch A or x: 0 * NaN would poison y.
+  const int m = 6, n = 4;
+  std::vector<double> a(static_cast<std::size_t>(m) * n, std::nan(""));
+  std::vector<double> x(static_cast<std::size_t>(n), std::nan(""));
+  std::vector<double> y(static_cast<std::size_t>(m), 2.0);
+  dgemv(m, n, 0.0, a.data(), m, x.data(), 1.0, y.data());
+  for (const double v : y) EXPECT_EQ(v, 2.0);
+  dgemv(m, n, 0.0, a.data(), m, x.data(), 0.0, y.data());
+  for (const double v : y) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Ger, AlphaZeroSkipsNanInput) {
+  const int m = 5, n = 3;
+  std::vector<double> x(static_cast<std::size_t>(m), std::nan(""));
+  std::vector<double> y(static_cast<std::size_t>(n), std::nan(""));
+  std::vector<double> a(static_cast<std::size_t>(m) * n, 1.5);
+  dger(m, n, 0.0, x.data(), y.data(), a.data(), m);
+  for (const double v : a) EXPECT_EQ(v, 1.5);
+}
+
+TEST(Gemm, AlphaZeroAppliesBetaOnly) {
+  const int m = 4, n = 3, k = 5;
+  std::vector<double> a(static_cast<std::size_t>(m) * k, std::nan(""));
+  std::vector<double> b(static_cast<std::size_t>(k) * n, std::nan(""));
+  std::vector<double> c(static_cast<std::size_t>(m) * n, 4.0);
+  dgemm(m, n, k, 0.0, a.data(), m, b.data(), k, 0.5, c.data(), m);
+  for (const double v : c) EXPECT_EQ(v, 2.0);
+  dgemm(m, n, k, 0.0, a.data(), m, b.data(), k, 0.0, c.data(), m);
+  for (const double v : c) EXPECT_EQ(v, 0.0);
+}
+
 TEST(Gemm, GeneralAlphaPath) {
   const int m = 6, n = 5, k = 4;
   auto a = random_vec(m * k, 21);

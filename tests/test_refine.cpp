@@ -1,7 +1,9 @@
 // Tests for iterative refinement on top of the S* factorization.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "solve/refine.hpp"
 #include "test_helpers.hpp"
@@ -48,9 +50,13 @@ TEST(Refine, ImprovesIllConditionedSolve) {
   const auto refined = refined_solve(solver, a, b, opt);
   EXPECT_TRUE(refined.converged);
   EXPECT_LE(refined.backward_error, 1e-14);
-  // Refinement never loses to the plain solve.
+  // Refinement never loses to the plain solve — except when both scaled
+  // residuals are already below machine epsilon, where the comparison is
+  // roundoff noise (which plain solve "wins" depends on the kernel
+  // backend's summation order).
+  const double eps = std::numeric_limits<double>::epsilon();
   EXPECT_LE(testing::solve_residual(a, refined.x, b),
-            testing::solve_residual(a, plain, b) * 1.01);
+            std::max(testing::solve_residual(a, plain, b) * 1.01, eps));
 }
 
 TEST(Refine, ReportsFailureWhenCapped) {

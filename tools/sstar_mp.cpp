@@ -41,6 +41,7 @@
 
 #include "analysis/audit.hpp"
 #include "analysis/panel_lifetime.hpp"
+#include "blas/kernel_backend.hpp"
 #include "core/lu_1d.hpp"
 #include "core/lu_2d.hpp"
 #include "core/task_graph.hpp"
@@ -179,6 +180,7 @@ int main(int argc, char** argv) {
     }();
     std::printf("matrix: n = %d, nnz = %lld\n", a.rows(),
                 static_cast<long long>(a.nnz()));
+    std::printf("kernel backend: %s\n", blas::kernel_backend_summary().c_str());
     SSTAR_CHECK_MSG(a.rows() == a.cols(), "matrix must be square");
 
     SolverSetup setup = prepare(a, opt);
