@@ -23,14 +23,18 @@ namespace {
 // throws on any undeclared remote access, the structural successor of
 // the NaN-poisoning this runtime used over full replicas.)
 //
-// Deadlock freedom (why recv-at-first-use cannot cycle): schedules
-// respect the task DAG, so a rank blocked at task T waiting for panel k
-// waits on Factor(k), whose scheduled position precedes T's; Factor(k)
-// in turn waits only on tasks with strictly earlier positions (each
-// task consumes at most one panel, and a leader's forwarding sends ride
-// directly behind its own receive). Every wait chain therefore
-// descends a well-founded order of (scheduled position, multicast hop)
-// and grounds out in some Factor task with no unmet needs.
+// Deadlock freedom is machine-checked, not argued: the static
+// communication auditor (analysis/comm_audit) builds the wait-for
+// graph over every (rank, program position) comm op — per-rank program
+// order plus the FIFO send->recv match edges — and proves it
+// well-founded before a message moves, printing the counterexample
+// wait cycle if a plan ever regresses (sstar_mp runs it up front;
+// `sstar_audit --comm` and the comm_audit ctest suite cover all
+// program variants). The invariant the plans maintain, which the proof
+// certifies: every blocking recv's matching send sits at a strictly
+// earlier position in the wait-for order, because each task consumes
+// at most one panel and a leader's forwarding sends ride directly
+// behind its own receive.
 void run_rank(const sim::ParallelProgram& prog, int rank, SStarNumeric& num,
               const SparseMatrix& a, comm::Transport& tp) {
   num.assemble(a);  // a DistBlockStore scatters only its owned columns

@@ -25,8 +25,16 @@
 // Every task in these programs consumes at most one panel, forwards ride
 // immediately behind the leader's receive, and the schedules respect the
 // task DAG, so every wait chain grounds out in a Factor task with a
-// strictly earlier scheduled position — see the proof sketch in
-// exec/lu_mp.cpp.
+// strictly earlier scheduled position. This is machine-checked, along
+// with match soundness, coverage, and release safety, by the static
+// communication auditor (analysis/comm_audit).
+//
+// Degenerate shapes need no special casing and get none: a panel with
+// no remote consumer (common when ranks outnumber panels — idle ranks
+// run no Update against it) contributes ZERO CommOps, not an empty
+// broadcast; with one rank the whole plan is empty; a P x 1 or 1 x P
+// grid degenerates to direct fan-out (one consumer row per
+// destination, or every consumer in the owner's row).
 #pragma once
 
 #include <vector>

@@ -1,0 +1,371 @@
+// Static communication auditor tests (analysis/comm_audit).
+//
+// Positive direction: every built SPMD program variant (1D
+// compute-ahead / graph-scheduled, 2D async / sync) must prove all four
+// properties — match soundness, coverage, deadlock-freedom, release
+// safety — at ranks {1, 2, 4, 8} and on degenerate shapes (tall/flat
+// grids, more ranks than panels). Negative direction: every mutation
+// the self-test injects (dropped send, reordered recvs, corrupted tag,
+// miscounted consumer, send moved behind a dependent recv) must be
+// pinpointed at the exact rank/task/op, with a counterexample wait-for
+// cycle printed for the deadlock case. The dynamic twin cross-validates
+// transport traffic recorded by a real MP run against the plan, and
+// must flag tampered recordings.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/comm_audit.hpp"
+#include "analysis/panel_lifetime.hpp"
+#include "core/lu_1d.hpp"
+#include "core/lu_2d.hpp"
+#include "core/task_graph.hpp"
+#include "exec/lu_mp.hpp"
+#include "exec/lu_real.hpp"
+#include "ordering/transversal.hpp"
+#include "sched/list_schedule.hpp"
+#include "sim/comm_plan.hpp"
+#include "supernode/partition.hpp"
+#include "symbolic/static_symbolic.hpp"
+#include "test_helpers.hpp"
+#include "trace/trace.hpp"
+
+namespace sstar {
+namespace {
+
+struct Fixture {
+  SparseMatrix a;
+  StaticStructure s;
+  std::unique_ptr<BlockLayout> layout;
+
+  static Fixture make(int n, int extra, std::uint64_t seed, int mb = 8,
+                      int r = 4) {
+    Fixture f;
+    f.a = make_zero_free_diagonal(testing::random_sparse(n, extra, seed));
+    f.s = static_symbolic_factorization(f.a);
+    auto part = amalgamate(f.s, find_supernodes(f.s, mb), r, mb);
+    f.layout = std::make_unique<BlockLayout>(f.s, std::move(part));
+    return f;
+  }
+};
+
+sim::ParallelProgram build_1d(const Fixture& f, int ranks,
+                              Schedule1DKind kind) {
+  const sim::MachineModel m = sim::MachineModel::cray_t3e(ranks);
+  const LuTaskGraph graph(*f.layout);
+  const sched::Schedule1D schedule =
+      kind == Schedule1DKind::kComputeAhead
+          ? sched::compute_ahead_schedule(graph, ranks)
+          : sched::graph_schedule(graph, m);
+  return build_1d_program(graph, schedule, m, nullptr);
+}
+
+sim::ParallelProgram build_2d(const Fixture& f, int ranks, bool async) {
+  const sim::MachineModel m = sim::MachineModel::cray_t3e(ranks);
+  return build_2d_program(*f.layout, m, async, nullptr);
+}
+
+sim::ParallelProgram build_2d_shape(const Fixture& f, sim::Grid grid,
+                                    bool async) {
+  const sim::MachineModel m =
+      sim::MachineModel::cray_t3e(grid.size()).with_grid(grid);
+  return build_2d_program(*f.layout, m, async, nullptr);
+}
+
+// All four variants at one rank count, labelled for diagnostics.
+std::vector<std::pair<std::string, sim::ParallelProgram>> all_variants(
+    const Fixture& f, int ranks) {
+  std::vector<std::pair<std::string, sim::ParallelProgram>> out;
+  out.emplace_back("1D CA", build_1d(f, ranks, Schedule1DKind::kComputeAhead));
+  out.emplace_back("1D graph", build_1d(f, ranks, Schedule1DKind::kGraph));
+  out.emplace_back("2D async", build_2d(f, ranks, true));
+  out.emplace_back("2D sync", build_2d(f, ranks, false));
+  return out;
+}
+
+TEST(CommAudit, AllVariantsAllRankCountsPass) {
+  const auto f = Fixture::make(140, 5, 13, 10, 4);
+  for (const int ranks : {1, 2, 4, 8}) {
+    for (const auto& [name, prog] : all_variants(f, ranks)) {
+      const analysis::CommAuditReport report =
+          analysis::audit_comm_plan(prog, *f.layout);
+      EXPECT_TRUE(report.ok())
+          << name << " @ " << ranks << " ranks: " << report.summary();
+      EXPECT_TRUE(report.deadlock_free());
+      EXPECT_EQ(report.sends, report.recvs)
+          << name << " @ " << ranks << " ranks";
+      EXPECT_EQ(report.matched_pairs, report.sends);
+      if (ranks == 1) {
+        EXPECT_EQ(report.sends, 0) << name;
+      }
+    }
+  }
+}
+
+TEST(CommAudit, DegenerateGridShapesPass) {
+  const auto f = Fixture::make(120, 4, 7, 8, 4);
+  for (const sim::Grid grid :
+       {sim::Grid{4, 1}, sim::Grid{1, 4}, sim::Grid{2, 1}, sim::Grid{3, 2}}) {
+    for (const bool async : {true, false}) {
+      const sim::ParallelProgram prog = build_2d_shape(f, grid, async);
+      const analysis::CommAuditReport report =
+          analysis::audit_comm_plan(prog, *f.layout);
+      EXPECT_TRUE(report.ok()) << grid.rows << "x" << grid.cols
+                               << (async ? " async: " : " sync: ")
+                               << report.summary();
+    }
+  }
+}
+
+// Regression for sim/comm_plan's more-ranks-than-panels edge case: a
+// panel nobody consumes remotely must yield ZERO CommOps — no
+// degenerate sends to idle ranks, no self-messages — and the whole plan
+// must still prove all four properties.
+TEST(CommAudit, MoreRanksThanPanelsYieldsNoDegenerateOps) {
+  const auto f = Fixture::make(24, 2, 5, 8, 4);  // a handful of panels
+  const int ranks = 16;
+  ASSERT_LT(f.layout->num_blocks(), ranks);
+  for (const auto& [name, prog] : all_variants(f, ranks)) {
+    const analysis::CommAuditReport report =
+        analysis::audit_comm_plan(prog, *f.layout);
+    EXPECT_TRUE(report.ok()) << name << ": " << report.summary();
+
+    const auto counts = sim::panel_consumer_counts(prog);
+    for (int k = 0; k < static_cast<int>(counts.size()); ++k) {
+      int consumers = 0;
+      for (const int c : counts[k]) consumers += c;
+      if (consumers > 0) continue;
+      // No remote consumer: the plan must not mention panel k at all.
+      for (sim::TaskId t = 0; t < static_cast<sim::TaskId>(prog.num_tasks());
+           ++t) {
+        for (const sim::CommOp& op : prog.task(t).pre_comms)
+          EXPECT_NE(op.k, k) << name << ": stray op for unconsumed panel";
+        for (const sim::CommOp& op : prog.task(t).post_comms)
+          EXPECT_NE(op.k, k) << name << ": stray op for unconsumed panel";
+      }
+    }
+  }
+}
+
+TEST(CommAudit, SingleRankProgramHasEmptyPlan) {
+  const auto f = Fixture::make(60, 3, 3);
+  const sim::ParallelProgram prog = build_1d(f, 1, Schedule1DKind::kGraph);
+  const analysis::CommAuditReport report =
+      analysis::audit_comm_plan(prog, *f.layout);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.sends + report.recvs, 0);
+  EXPECT_EQ(report.reads_checked, 0);  // every panel is owned
+}
+
+// --- mutation pinpointing ------------------------------------------------
+
+TEST(CommAudit, DroppedSendPinpointedAtOrphanedRecv) {
+  const auto f = Fixture::make(140, 5, 13, 10, 4);
+  for (const std::uint64_t seed : {0u, 3u, 11u}) {
+    for (const auto& [name, clean] : all_variants(f, 4)) {
+      sim::ParallelProgram prog = clean;
+      const analysis::CommMutation m =
+          analysis::mutate_drop_send(prog, seed);
+      ASSERT_TRUE(m.found) << name;
+      const analysis::CommAuditReport report =
+          analysis::audit_comm_plan(prog, *f.layout);
+      EXPECT_FALSE(report.ok()) << name << ": " << m.what;
+      EXPECT_TRUE(m.pinpointed_by(report))
+          << name << ": " << m.what << "\n" << report.summary();
+      bool orphan_recv = false;
+      for (const analysis::CommAuditIssue& issue : report.issues)
+        orphan_recv |=
+            issue.kind == analysis::CommAuditIssue::Kind::kOrphanRecv;
+      EXPECT_TRUE(orphan_recv) << name;
+    }
+  }
+}
+
+TEST(CommAudit, ReorderedRecvsPinpointedAtUncoveredTask) {
+  const auto f = Fixture::make(140, 5, 13, 10, 4);
+  for (const auto& [name, clean] : all_variants(f, 4)) {
+    sim::ParallelProgram prog = clean;
+    const analysis::CommMutation m =
+        analysis::mutate_reorder_recvs(prog, 1);
+    if (!m.found) continue;  // a variant may lack two-recv ranks
+    const analysis::CommAuditReport report =
+        analysis::audit_comm_plan(prog, *f.layout);
+    EXPECT_FALSE(report.ok()) << name << ": " << m.what;
+    EXPECT_TRUE(m.pinpointed_by(report))
+        << name << ": " << m.what << "\n" << report.summary();
+  }
+}
+
+TEST(CommAudit, CorruptedTagPinpointed) {
+  const auto f = Fixture::make(140, 5, 13, 10, 4);
+  for (const std::uint64_t seed : {0u, 5u}) {
+    for (const auto& [name, clean] : all_variants(f, 4)) {
+      sim::ParallelProgram prog = clean;
+      const analysis::CommMutation m =
+          analysis::mutate_corrupt_tag(prog, seed);
+      ASSERT_TRUE(m.found) << name;
+      const analysis::CommAuditReport report =
+          analysis::audit_comm_plan(prog, *f.layout);
+      EXPECT_FALSE(report.ok()) << name << ": " << m.what;
+      EXPECT_TRUE(m.pinpointed_by(report))
+          << name << ": " << m.what << "\n" << report.summary();
+    }
+  }
+}
+
+TEST(CommAudit, MiscountedConsumerPinpointed) {
+  const auto f = Fixture::make(140, 5, 13, 10, 4);
+  for (const std::uint64_t seed : {0u, 1u, 6u, 7u}) {  // over + under
+    for (const auto& [name, prog] : all_variants(f, 4)) {
+      auto counts = sim::panel_consumer_counts(prog);
+      const analysis::CommMutation m =
+          analysis::mutate_miscount_consumer(prog, counts, seed);
+      ASSERT_TRUE(m.found) << name;
+      const analysis::CommAuditReport report =
+          analysis::audit_comm_plan(prog, *f.layout, counts);
+      EXPECT_FALSE(report.ok()) << name << ": " << m.what;
+      EXPECT_TRUE(m.pinpointed_by(report))
+          << name << ": " << m.what << "\n" << report.summary();
+      // The untampered counts still pass, so the mutation is the only
+      // difference the auditor sees.
+      EXPECT_TRUE(analysis::audit_comm_plan(prog, *f.layout).ok()) << name;
+    }
+  }
+}
+
+TEST(CommAudit, InjectedDeadlockYieldsCounterexampleCycle) {
+  const auto f = Fixture::make(140, 5, 13, 10, 4);
+  int injected = 0;
+  for (const auto& [name, clean] : all_variants(f, 4)) {
+    sim::ParallelProgram prog = clean;
+    const analysis::CommMutation m = analysis::mutate_inject_deadlock(prog);
+    if (!m.found) continue;
+    ++injected;
+    const analysis::CommAuditReport report =
+        analysis::audit_comm_plan(prog, *f.layout);
+    EXPECT_FALSE(report.deadlock_free()) << name << ": " << m.what;
+    EXPECT_GE(report.deadlock_cycle.size(), 2u) << name;
+    EXPECT_TRUE(m.pinpointed_by(report)) << name << ": " << m.what;
+    // The cycle must alternate between at least two ranks — a
+    // one-rank "cycle" would be a flattening bug, not a deadlock.
+    bool multiple_ranks = false;
+    for (const std::string& line : report.deadlock_cycle)
+      multiple_ranks |= line.rfind(report.deadlock_cycle.front().substr(
+                            0, report.deadlock_cycle.front().find(" task")),
+                            0) != 0;
+    EXPECT_TRUE(multiple_ranks) << name;
+  }
+  EXPECT_GE(injected, 1) << "no variant offered a deadlock-injection site";
+}
+
+TEST(CommAudit, SelfMessageAndBadPanelFlagged) {
+  const auto f = Fixture::make(80, 4, 9);
+  sim::ParallelProgram prog = build_1d(f, 4, Schedule1DKind::kGraph);
+  // Find a task on rank 2 and attach a self-send and an out-of-layout
+  // recv to it.
+  sim::TaskId victim = -1;
+  for (const sim::TaskId t : prog.proc_order(2))
+    if (!prog.task(t).kernels.empty()) {
+      victim = t;
+      break;
+    }
+  ASSERT_GE(victim, 0);
+  prog.mutable_task(victim).post_comms.push_back(
+      {sim::CommOp::Kind::kSend, 2, 0});
+  prog.mutable_task(victim).pre_comms.push_back(
+      {sim::CommOp::Kind::kRecv, 0, f.layout->num_blocks() + 7});
+  const analysis::CommAuditReport report =
+      analysis::audit_comm_plan(prog, *f.layout);
+  bool self = false, bad = false;
+  for (const analysis::CommAuditIssue& issue : report.issues) {
+    self |= issue.kind == analysis::CommAuditIssue::Kind::kSelfMessage &&
+            issue.site.rank == 2 && issue.site.task == victim;
+    bad |= issue.kind == analysis::CommAuditIssue::Kind::kBadPanel &&
+           issue.site.rank == 2 && issue.site.task == victim;
+  }
+  EXPECT_TRUE(self) << report.summary();
+  EXPECT_TRUE(bad) << report.summary();
+}
+
+// Release safety and the panel-lifetime replay must agree: a count the
+// comm audit rejects is exactly one the lifetime audit sees leak (over)
+// or free early (under).
+TEST(CommAudit, AgreesWithPanelLifetimeOnMiscounts) {
+  const auto f = Fixture::make(140, 5, 13, 10, 4);
+  const sim::ParallelProgram prog = build_1d(f, 4, Schedule1DKind::kGraph);
+  auto counts = sim::panel_consumer_counts(prog);
+  const analysis::CommMutation m =
+      analysis::mutate_miscount_consumer(prog, counts, 1);  // undercount
+  ASSERT_TRUE(m.found);
+  EXPECT_FALSE(analysis::audit_comm_plan(prog, *f.layout, counts).ok());
+  const analysis::PanelLifetimeReport lifetime = analysis::
+      audit_panel_lifetimes(prog, {{m.rank, m.panel, counts[m.panel][m.rank]}});
+  EXPECT_FALSE(lifetime.ok());
+}
+
+// --- dynamic cross-validation against recorded transport traffic --------
+
+TEST(CommTraffic, RecordedMpTrafficMatchesPlan) {
+  const auto f = Fixture::make(120, 5, 21, 10, 4);
+  for (const auto& [name, prog] : all_variants(f, 4)) {
+    const analysis::CommAuditReport statically =
+        analysis::audit_comm_plan(prog, *f.layout);
+    ASSERT_TRUE(statically.ok()) << name;
+
+    trace::TraceCollector collector;
+    collector.install();
+    SStarNumeric result(*f.layout);
+    exec::execute_program_mp(prog, f.a, result);
+    collector.uninstall();
+    const trace::Trace tr = collector.take();
+
+    const analysis::TrafficReport report =
+        analysis::check_recorded_traffic(prog, *f.layout, tr);
+    EXPECT_TRUE(report.ok()) << name << ": " << report.summary();
+    EXPECT_EQ(report.events_checked, statically.sends + statically.recvs)
+        << name;
+  }
+}
+
+TEST(CommTraffic, TamperedRecordingIsFlagged) {
+  const auto f = Fixture::make(120, 5, 21, 10, 4);
+  const sim::ParallelProgram prog = build_1d(f, 4, Schedule1DKind::kGraph);
+  trace::TraceCollector collector;
+  collector.install();
+  SStarNumeric result(*f.layout);
+  exec::execute_program_mp(prog, f.a, result);
+  collector.uninstall();
+  const trace::Trace tr = collector.take();
+
+  // Drop the first comm event: its rank's recorded sequence now
+  // diverges from the plan at that position.
+  trace::Trace dropped = tr;
+  for (std::size_t i = 0; i < dropped.events.size(); ++i) {
+    if (dropped.events[i].kind == trace::EventKind::kSend ||
+        dropped.events[i].kind == trace::EventKind::kRecvWait) {
+      dropped.events.erase(dropped.events.begin() + i);
+      break;
+    }
+  }
+  EXPECT_FALSE(
+      analysis::check_recorded_traffic(prog, *f.layout, dropped).ok());
+
+  // Re-tag one recorded send: the peer/tag/bytes no longer match.
+  trace::Trace retagged = tr;
+  for (trace::TraceEvent& e : retagged.events) {
+    if (e.kind == trace::EventKind::kSend) {
+      e.k += 1;
+      break;
+    }
+  }
+  const analysis::TrafficReport report =
+      analysis::check_recorded_traffic(prog, *f.layout, retagged);
+  EXPECT_FALSE(report.ok());
+  ASSERT_FALSE(report.issues.empty());
+  EXPECT_GE(report.issues.front().rank, 0);
+}
+
+}  // namespace
+}  // namespace sstar

@@ -73,6 +73,44 @@ TEST(Transport, Wildcards) {
   EXPECT_EQ(any_any.tag, 3);
 }
 
+// Distinct tags are independent channels: a backlog on one tag must
+// neither block nor reorder another tag's traffic, while delivery
+// WITHIN each (src, dst, tag) channel stays FIFO. This is the exact
+// guarantee the static comm auditor (analysis/comm_audit) assumes when
+// it pairs the i-th send on a channel with the i-th recv.
+TEST(Transport, FifoPreservedAcrossInterleavedTags) {
+  InProcTransport tp(2);
+  tp.send(0, 1, 7, bytes({70}));
+  tp.send(0, 1, 9, bytes({90}));
+  tp.send(0, 1, 7, bytes({71}));
+  tp.send(0, 1, 9, bytes({91}));
+  // Drain tag 9 first: the older tag-7 backlog must not be touched.
+  EXPECT_EQ(tp.recv(1, 0, 9).payload, bytes({90}));
+  EXPECT_EQ(tp.recv(1, 0, 9).payload, bytes({91}));
+  EXPECT_EQ(tp.recv(1, 0, 7).payload, bytes({70}));
+  EXPECT_EQ(tp.recv(1, 0, 7).payload, bytes({71}));
+}
+
+// Negative: a wildcard recv matches the OLDEST queued message whatever
+// its tag, so it can steal a tagged message a later exact-match recv
+// was written for — MPI semantics, and the reason the LU message plans
+// never post wildcards. The stolen channel's recv then provably
+// deadlocks (sender finished, nothing queued), so the mistake is loud,
+// not a silent mismatch.
+TEST(Transport, WildcardRecvStealsTaggedMessageAndExactRecvDeadlocks) {
+  InProcTransport tp(2, /*watchdog_seconds=*/600.0);
+  tp.send(0, 1, 7, bytes({70}));  // oldest: the exact recv's message
+  tp.send(0, 1, 9, bytes({90}));
+  tp.finish(0);
+  const Message stolen = tp.recv(1, 0, kAnyTag);
+  EXPECT_EQ(stolen.tag, 7);  // wildcard took the tag-7 message
+  EXPECT_EQ(stolen.payload, bytes({70}));
+  // The untouched tag-9 channel still delivers in order...
+  EXPECT_EQ(tp.recv(1, 0, 9).payload, bytes({90}));
+  // ...but the stolen channel's exact-match recv can never be served.
+  EXPECT_THROW((void)tp.recv(1, 0, 7), DeadlockError);
+}
+
 TEST(Transport, ProbeIsNonBlocking) {
   InProcTransport tp(2);
   EXPECT_FALSE(tp.probe(1, 0, 4));

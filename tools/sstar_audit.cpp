@@ -16,9 +16,19 @@
 // --self-test deletes one DAG edge and exits 0 only if the auditor
 // pinpoints the missing ordering — the end-to-end negative check.
 //
+// --comm runs the static communication auditor (analysis/comm_audit)
+// over the message plans of all four SPMD variants — match soundness,
+// coverage, deadlock-freedom, release safety — plus degenerate 2D grid
+// shapes (P x 1 and 1 x P). --comm-self-test injects one defect of each
+// kind (dropped send, reordered recvs, corrupted tag, miscounted
+// consumer, send moved behind a dependent recv) and exits 0 only if the
+// auditor pinpoints every one at the exact rank/task/op, printing the
+// counterexample wait-for cycle for the deadlock case.
+//
 // Flags: --suite=NAME --scale=S --grid=N --seed=S --ordering=... as in
 //        sstar_solve_cli, --max-block=N --amalg=N, --programs
 //        --procs=P, --dynamic --threads=T, --self-test [--drop-edge=I],
+//        --comm, --comm-self-test,
 //        --verbose (print every violation, not just the first few)
 #include <algorithm>
 #include <cstdint>
@@ -29,6 +39,7 @@
 #include <vector>
 
 #include "analysis/audit.hpp"
+#include "analysis/comm_audit.hpp"
 #include "core/lu_1d.hpp"
 #include "core/lu_2d.hpp"
 #include "core/task_graph.hpp"
@@ -38,6 +49,7 @@
 #include "matrix/io.hpp"
 #include "matrix/suite.hpp"
 #include "sched/list_schedule.hpp"
+#include "sim/comm_plan.hpp"
 #include "solve/solver.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -100,6 +112,155 @@ int self_test(const BlockLayout& layout, int drop_edge,
   return 1;
 }
 
+// The four SPMD program variants (comm plans attached by the builders),
+// labelled for output.
+std::vector<std::pair<std::string, sim::ParallelProgram>> comm_variants(
+    const BlockLayout& layout, const sim::MachineModel& m) {
+  const LuTaskGraph graph(layout);
+  std::vector<std::pair<std::string, sim::ParallelProgram>> out;
+  out.emplace_back(
+      "1D compute-ahead",
+      build_1d_program(graph,
+                       sched::compute_ahead_schedule(graph, m.processors), m,
+                       nullptr));
+  out.emplace_back("1D graph-scheduled",
+                   build_1d_program(graph, sched::graph_schedule(graph, m), m,
+                                    nullptr));
+  out.emplace_back("2D async", build_2d_program(layout, m, true, nullptr));
+  out.emplace_back("2D sync", build_2d_program(layout, m, false, nullptr));
+  return out;
+}
+
+void print_comm_report(const std::string& what,
+                       const analysis::CommAuditReport& report,
+                       bool verbose) {
+  std::printf("%-28s %s\n", (what + ":").c_str(), report.summary().c_str());
+  const std::size_t show = verbose ? report.issues.size()
+                                   : std::min<std::size_t>(
+                                         report.issues.size(), 5);
+  for (std::size_t i = 0; i < show; ++i)
+    std::printf("  !! %s\n", report.issues[i].message().c_str());
+  if (show < report.issues.size())
+    std::printf("  .. %zu more (use --verbose)\n",
+                report.issues.size() - show);
+  if (!report.deadlock_free()) {
+    std::printf("  !! wait-for cycle (deadlock counterexample):\n");
+    for (const std::string& line : report.deadlock_cycle)
+      std::printf("     -> %s\n", line.c_str());
+  }
+}
+
+int comm_audit(const BlockLayout& layout, int procs, bool verbose) {
+  int failures = 0;
+  const sim::MachineModel m = sim::MachineModel::cray_t3e(procs);
+  for (const auto& [name, prog] : comm_variants(layout, m)) {
+    const analysis::CommAuditReport report =
+        analysis::audit_comm_plan(prog, layout);
+    print_comm_report(name + " comm plan", report, verbose);
+    failures += report.ok() ? 0 : 1;
+  }
+  // Degenerate grid shapes: a P x 1 column and a 1 x P row. The row
+  // shape is the 1D fan-out expressed through the 2D builder; the
+  // column shape makes every multicast a leader-forward chain.
+  if (procs > 1) {
+    for (const sim::Grid shape : {sim::Grid{procs, 1}, sim::Grid{1, procs}}) {
+      const sim::MachineModel md = m.with_grid(shape);
+      for (const bool async : {true, false}) {
+        const sim::ParallelProgram prog =
+            build_2d_program(layout, md, async, nullptr);
+        const analysis::CommAuditReport report =
+            analysis::audit_comm_plan(prog, layout);
+        print_comm_report("2D " + std::to_string(shape.rows) + "x" +
+                              std::to_string(shape.cols) +
+                              (async ? " async" : " sync"),
+                          report, verbose);
+        failures += report.ok() ? 0 : 1;
+      }
+    }
+  }
+  return failures;
+}
+
+int comm_self_test(const BlockLayout& layout, int procs,
+                   std::uint64_t seed) {
+  const sim::MachineModel m = sim::MachineModel::cray_t3e(procs);
+  int failures = 0;
+  for (const auto& [name, clean] : comm_variants(layout, m)) {
+    // Each mutation gets a fresh copy of the clean program, which must
+    // itself audit clean for the self-test to mean anything.
+    if (!analysis::audit_comm_plan(clean, layout).ok()) {
+      std::printf("comm self-test FAILED: %s does not audit clean\n",
+                  name.c_str());
+      ++failures;
+      continue;
+    }
+
+    struct Case {
+      const char* label;
+      analysis::CommMutation mutation;
+      analysis::CommAuditReport report;
+    };
+    std::vector<Case> cases;
+
+    {
+      sim::ParallelProgram prog = clean;
+      Case c{"drop-send", analysis::mutate_drop_send(prog, seed), {}};
+      c.report = analysis::audit_comm_plan(prog, layout);
+      cases.push_back(std::move(c));
+    }
+    {
+      sim::ParallelProgram prog = clean;
+      Case c{"reorder-recvs", analysis::mutate_reorder_recvs(prog, seed), {}};
+      c.report = analysis::audit_comm_plan(prog, layout);
+      cases.push_back(std::move(c));
+    }
+    {
+      sim::ParallelProgram prog = clean;
+      Case c{"corrupt-tag", analysis::mutate_corrupt_tag(prog, seed), {}};
+      c.report = analysis::audit_comm_plan(prog, layout);
+      cases.push_back(std::move(c));
+    }
+    {
+      auto counts = sim::panel_consumer_counts(clean);
+      Case c{"miscount-consumer",
+             analysis::mutate_miscount_consumer(clean, counts, seed), {}};
+      c.report = analysis::audit_comm_plan(clean, layout, counts);
+      cases.push_back(std::move(c));
+    }
+    {
+      sim::ParallelProgram prog = clean;
+      Case c{"inject-deadlock", analysis::mutate_inject_deadlock(prog), {}};
+      c.report = analysis::audit_comm_plan(prog, layout);
+      cases.push_back(std::move(c));
+    }
+
+    for (const Case& c : cases) {
+      if (!c.mutation.found) {
+        std::printf("%s / %-18s no injection site (skipped)\n", name.c_str(),
+                    c.label);
+        continue;
+      }
+      const bool caught =
+          !c.report.ok() && c.mutation.pinpointed_by(c.report);
+      std::printf("%s / %-18s %s: %s\n", name.c_str(), c.label,
+                  caught ? "pinpointed" : "MISSED",
+                  c.mutation.what.c_str());
+      if (!caught) {
+        print_comm_report("  report was", c.report, true);
+        ++failures;
+      } else if (!c.report.deadlock_free()) {
+        for (const std::string& line : c.report.deadlock_cycle)
+          std::printf("     -> %s\n", line.c_str());
+      }
+    }
+  }
+  if (failures == 0)
+    std::printf("comm self-test OK\n");
+  else
+    std::printf("comm self-test FAILED (%d)\n", failures);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -114,6 +275,8 @@ int main(int argc, char** argv) {
   [[maybe_unused]] int threads = 4;  // only read in SSTAR_AUDIT builds
   bool run_self_test = false;
   int drop_edge = -1;
+  bool comm = false;
+  bool run_comm_self_test = false;
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -152,6 +315,10 @@ int main(int argc, char** argv) {
       dynamic = true;
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = std::atoi(arg.c_str() + 10);
+    } else if (arg == "--comm") {
+      comm = true;
+    } else if (arg == "--comm-self-test") {
+      run_comm_self_test = true;
     } else if (arg == "--self-test") {
       run_self_test = true;
     } else if (arg.rfind("--drop-edge=", 0) == 0) {
@@ -198,8 +365,10 @@ int main(int argc, char** argv) {
     std::printf("layout: %d column blocks\n", layout.num_blocks());
 
     if (run_self_test) return self_test(layout, drop_edge, seed);
+    if (run_comm_self_test) return comm_self_test(layout, procs, seed);
 
     int failures = 0;
+    if (comm) failures += comm_audit(layout, procs, verbose);
     const LuTaskGraph graph(layout);
     const analysis::AuditReport static_report =
         analysis::audit_task_graph(graph);

@@ -20,8 +20,12 @@
 //   * with --audit (needs a -DSSTAR_AUDIT=ON build), records every
 //     kernel block access during the distributed run and cross-validates
 //     against the program's declared access sets and ordering; the
-//     static panel-lifetime audit (release-safety of the panel cache)
-//     runs unconditionally.
+//     static communication audit (analysis/comm_audit: match soundness,
+//     coverage, deadlock-freedom, release safety — run BEFORE any
+//     message is sent), the recorded-traffic cross-validation (every
+//     send/recv the transport performed vs the plan, in order, with
+//     peer/tag/bytes), and the static panel-lifetime audit
+//     (release-safety of the panel cache) all run unconditionally.
 //
 // Flags: --suite=NAME --scale=S --grid=N --seed=S --ordering=... and
 //        --max-block=N --amalg=N as in sstar_solve_cli;
@@ -40,6 +44,7 @@
 #include <vector>
 
 #include "analysis/audit.hpp"
+#include "analysis/comm_audit.hpp"
 #include "analysis/panel_lifetime.hpp"
 #include "blas/kernel_backend.hpp"
 #include "core/lu_1d.hpp"
@@ -214,20 +219,37 @@ int main(int argc, char** argv) {
                   schedule == "ca" ? "compute-ahead" : "graph-scheduled",
                   ranks, prog.num_tasks());
 
+    // Static communication audit: prove the message plan sound (match
+    // soundness, coverage, deadlock-freedom, release safety) BEFORE any
+    // message is sent. A failure here would mean the run below could
+    // hang or corrupt, so it is fatal up front.
+    const analysis::CommAuditReport comm_report =
+        analysis::audit_comm_plan(prog, layout);
+    std::printf("static comm audit:  %s\n", comm_report.summary().c_str());
+    if (!comm_report.ok()) {
+      for (const analysis::CommAuditIssue& issue : comm_report.issues)
+        std::printf("  !! %s\n", issue.message().c_str());
+      for (const std::string& line : comm_report.deadlock_cycle)
+        std::printf("  -> %s\n", line.c_str());
+      return 1;
+    }
+
 #ifdef SSTAR_AUDIT_ENABLED
     analysis::AccessLog log;
     if (audit) log.install();
 #endif
     exec::MpOptions mpopt;
     mpopt.watchdog_seconds = watchdog;
+    // Always record the run's trace: the recorded-traffic check below
+    // cross-validates every transport send/recv against the plan.
     trace::TraceCollector collector;
-    if (!trace_path.empty()) collector.install();
+    collector.install();
     SStarNumeric mp(layout);
     const exec::MpStats st =
         exec::execute_program_mp(prog, setup.permuted, mp, mpopt);
+    collector.uninstall();
+    const trace::Trace tr = collector.take();
     if (!trace_path.empty()) {
-      collector.uninstall();
-      const trace::Trace tr = collector.take();
       std::ofstream out(trace_path);
       if (!out) throw CheckError("cannot write " + trace_path);
       out << trace::chrome_trace_json(tr, "rank");
@@ -285,6 +307,16 @@ int main(int argc, char** argv) {
     std::printf("panel lifetime audit:        %s\n",
                 lifetimes.summary().c_str());
     failures += lifetimes.ok() ? 0 : 1;
+
+    // Dynamic cross-validation: what the transport actually did must be
+    // exactly the statically verified plan, rank by rank, in order.
+    const analysis::TrafficReport traffic =
+        analysis::check_recorded_traffic(prog, layout, tr);
+    std::printf("recorded traffic vs plan:    %s\n",
+                traffic.summary().c_str());
+    for (const analysis::TrafficIssue& issue : traffic.issues)
+      std::printf("  !! %s\n", issue.message().c_str());
+    failures += traffic.ok() ? 0 : 1;
 
     if (memory) {
       const sim::MpMemoryPrediction pred =
