@@ -1,0 +1,86 @@
+#include "analysis/solve_audit.hpp"
+
+#include <algorithm>
+
+#include "analysis/reachability.hpp"
+
+namespace sstar::analysis {
+
+std::string SolveAuditViolation::message(const SolveGraph& graph) const {
+  std::string out = graph.task_label(task_a) + " and " +
+                    graph.task_label(task_b) + " both access row block " +
+                    std::to_string(row_block) + " (";
+  out += write_a ? "write" : "read";
+  out += "/";
+  out += write_b ? "write" : "read";
+  out += ") with no ordering path; missing edge " + graph.task_label(task_a) +
+         " -> " + graph.task_label(task_b);
+  return out;
+}
+
+std::string SolveAuditReport::summary() const {
+  std::string out = "solve audit: " + std::to_string(num_tasks) + " tasks, " +
+                    std::to_string(num_edges) + " edges, " +
+                    std::to_string(num_row_blocks) + " row blocks, " +
+                    std::to_string(pairs_checked) + " conflicting pairs, " +
+                    std::to_string(violations.size()) + " violations";
+  return out;
+}
+
+SolveAuditReport audit_solve_graph(const SolveGraph& graph) {
+  return audit_solve_graph(graph, graph.edges());
+}
+
+SolveAuditReport audit_solve_graph(
+    const SolveGraph& graph,
+    const std::vector<std::pair<int, int>>& edges) {
+  SolveAuditReport report;
+  report.num_tasks = graph.num_tasks();
+  report.num_edges = static_cast<std::int64_t>(edges.size());
+  report.num_row_blocks = graph.num_blocks();
+
+  const Reachability reach(graph.num_tasks(), edges);
+
+  // Accesses per row block, in task-id order (FS tasks in sequential
+  // sweep order first, then BS tasks).
+  struct TaskAccess {
+    int task;
+    bool write;
+  };
+  std::vector<std::vector<TaskAccess>> by_row(
+      static_cast<std::size_t>(graph.num_blocks()));
+  for (int t = 0; t < graph.num_tasks(); ++t)
+    for (const SolveGraph::RowAccess& a : graph.access_set(t))
+      by_row[static_cast<std::size_t>(a.row_block)].push_back({t, a.write});
+
+  // Sequential sweep position FS(0..nb-1), BS(nb-1..0): violations are
+  // normalized so task_a precedes task_b in that order, making the
+  // reported missing edge the one a sequential replay would need.
+  const int nb = graph.num_blocks();
+  const auto seq_pos = [nb, &graph](int t) {
+    return graph.is_forward(t) ? graph.block_of(t)
+                               : 2 * nb - 1 - graph.block_of(t);
+  };
+
+  for (int rb = 0; rb < nb; ++rb) {
+    const std::vector<TaskAccess>& acc = by_row[static_cast<std::size_t>(rb)];
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      for (std::size_t j = i + 1; j < acc.size(); ++j) {
+        if (!acc[i].write && !acc[j].write) continue;  // read/read is fine
+        ++report.pairs_checked;
+        if (reach.ordered(acc[i].task, acc[j].task)) continue;
+        const bool i_first = seq_pos(acc[i].task) < seq_pos(acc[j].task);
+        SolveAuditViolation v;
+        v.task_a = i_first ? acc[i].task : acc[j].task;
+        v.task_b = i_first ? acc[j].task : acc[i].task;
+        v.row_block = rb;
+        v.write_a = i_first ? acc[i].write : acc[j].write;
+        v.write_b = i_first ? acc[j].write : acc[i].write;
+        report.violations.push_back(v);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sstar::analysis

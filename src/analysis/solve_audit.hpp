@@ -1,0 +1,63 @@
+// Static dependence auditor for the solve DAG (core/solve_graph).
+//
+// The serving layer's DAG-parallel solve (serve/session) is bitwise
+// correct only if the graph's edges carry a happens-before path between
+// every two solve tasks that touch the same RHS row block with at least
+// one write. TSan checks that probabilistically at whatever
+// interleavings the host schedules; this auditor proves it
+// DETERMINISTICALLY from the task model alone: take each task's
+// declared row-block access set (SolveGraph::access_set), materialize
+// the edge set's transitive closure (analysis/reachability), and report
+// every conflicting pair with no ordering path — with the task labels,
+// the shared row block, and the missing edge that would repair it.
+//
+// An overload takes an explicit edge list so negative tests can delete
+// one edge and assert the auditor pinpoints exactly the conflict that
+// lost its ordering. The CLI wrapper is tools/sstar_serve --audit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/solve_graph.hpp"
+
+namespace sstar::analysis {
+
+/// A conflicting row-block access pair no dependence path orders.
+/// task_a precedes task_b in the sequential sweep order
+/// (FS(0..nb-1), BS(nb-1..0)), so the minimal repair is an edge a -> b.
+struct SolveAuditViolation {
+  int task_a = 0;
+  int task_b = 0;
+  int row_block = 0;
+  bool write_a = false;
+  bool write_b = false;
+
+  /// E.g. "FS(2) and FS(5) both access row block 7 (write/write) with
+  /// no ordering path; missing edge FS(2) -> FS(5)".
+  std::string message(const SolveGraph& graph) const;
+};
+
+struct SolveAuditReport {
+  int num_tasks = 0;
+  std::int64_t num_edges = 0;
+  int num_row_blocks = 0;
+  std::int64_t pairs_checked = 0;  ///< conflicting pairs examined
+  std::vector<SolveAuditViolation> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string summary() const;
+};
+
+/// Audit the graph's own edge set.
+SolveAuditReport audit_solve_graph(const SolveGraph& graph);
+
+/// Same, with an explicit edge list replacing graph.edges() — the
+/// deleted-edge negative tests' seam.
+SolveAuditReport audit_solve_graph(
+    const SolveGraph& graph,
+    const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace sstar::analysis

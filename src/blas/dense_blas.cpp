@@ -1,6 +1,7 @@
 #include "blas/dense_blas.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "blas/flops.hpp"
 #include "blas/kernel_backend.hpp"
@@ -116,6 +117,50 @@ void dgemm(int m, int n, int k, double alpha, const double* a, int lda,
     flop_counter().blas3 += 2ULL * static_cast<std::uint64_t>(m) *
                             static_cast<std::uint64_t>(n) *
                             static_cast<std::uint64_t>(k);
+}
+
+void rhs_panel_update(int m, int k, int ncols, const double* a, int lda,
+                      const double* x, int ldx, const int* xrows, double* y,
+                      int ldy, const int* yrows, bool skip_zero_x_rows) {
+  if (m <= 0 || k <= 0 || ncols <= 0) return;
+  const unsigned char* skip = nullptr;
+  // Solve sessions are per-thread, so per-thread scratch for the skip
+  // mask keeps this wrapper allocation-free in steady state.
+  thread_local std::vector<unsigned char> skip_buf;
+  if (skip_zero_x_rows) {
+    skip_buf.assign(static_cast<std::size_t>(k), 0);
+    for (int p = 0; p < k; ++p) {
+      const double* xr =
+          x + static_cast<std::ptrdiff_t>(xrows ? xrows[p] : p) * ldx;
+      bool all_zero = true;
+      for (int c = 0; c < ncols && all_zero; ++c) all_zero = xr[c] == 0.0;
+      skip_buf[static_cast<std::size_t>(p)] = all_zero ? 1 : 0;
+    }
+    skip = skip_buf.data();
+  }
+  active_kernel_ops().rhs_panel_update(m, k, ncols, a, lda, x, ldx, xrows, y,
+                                       ldy, yrows, skip);
+  flop_counter().blas3 += 2ULL * static_cast<std::uint64_t>(m) *
+                          static_cast<std::uint64_t>(k) *
+                          static_cast<std::uint64_t>(ncols);
+}
+
+void rhs_lower_solve(int w, int ncols, const double* a, int lda, double* b,
+                     int ldb) {
+  if (w <= 0 || ncols <= 0) return;
+  active_kernel_ops().rhs_lower_solve(w, ncols, a, lda, b, ldb);
+  flop_counter().blas3 += static_cast<std::uint64_t>(w) *
+                          static_cast<std::uint64_t>(w) *
+                          static_cast<std::uint64_t>(ncols);
+}
+
+void rhs_upper_solve(int w, int ncols, const double* a, int lda, double* b,
+                     int ldb) {
+  if (w <= 0 || ncols <= 0) return;
+  active_kernel_ops().rhs_upper_solve(w, ncols, a, lda, b, ldb);
+  flop_counter().blas3 += static_cast<std::uint64_t>(w) *
+                          static_cast<std::uint64_t>(w) *
+                          static_cast<std::uint64_t>(ncols);
 }
 
 }  // namespace sstar::blas

@@ -70,4 +70,30 @@ void dtrsm_upper(int n, int m, const double* a, int lda, double* b,
 void dgemm(int m, int n, int k, double alpha, const double* a, int lda,
            const double* b, int ldb, double beta, double* c, int ldc);
 
+// --- Multi-RHS blocked-solve kernels (serving layer, DESIGN.md §14).
+// RHS panels are ROW-major (system row r's ncols values contiguous at
+// p + r*ld); per RHS column the arithmetic is bitwise-identical to the
+// sequential single-RHS substitution under the active backend — see the
+// KernelOps contract in kernel_backend.hpp.
+
+/// y(i, :) -= sum_p a(i, p) * x(p, :) over row-major panels, with
+/// optional row index maps (xrows/yrows, nullptr = rows 0..k-1/0..m-1).
+/// With skip_zero_x_rows the all-zero rows of x are skipped, matching
+/// the forward substitution's bm == 0.0 short-cut; the skip mask is
+/// computed here so it is backend-independent. Counts 2*m*k*ncols
+/// BLAS-3 flops.
+void rhs_panel_update(int m, int k, int ncols, const double* a, int lda,
+                      const double* x, int ldx, const int* xrows, double* y,
+                      int ldy, const int* yrows, bool skip_zero_x_rows);
+
+/// In-place unit-lower-triangular solve of the w x ncols row-major panel
+/// b against the column-major block a; counts w*w*ncols BLAS-3 flops.
+void rhs_lower_solve(int w, int ncols, const double* a, int lda, double* b,
+                     int ldb);
+
+/// In-place upper-triangular solve (left-looking row order) of the
+/// w x ncols row-major panel b; counts w*w*ncols BLAS-3 flops.
+void rhs_upper_solve(int w, int ncols, const double* a, int lda, double* b,
+                     int ldb);
+
 }  // namespace sstar::blas

@@ -55,6 +55,43 @@ struct KernelOps {
                double* a, int lda, int incx, int incy);
   void (*dgemv)(int m, int n, double alpha, const double* a, int lda,
                 const double* x, double beta, double* y);
+
+  // --- Multi-RHS blocked-solve kernels (serving layer, DESIGN.md §14).
+  //
+  // RHS panels are ROW-major: system row r's ncols request columns are
+  // contiguous at p + r*ld. Per RHS column the element operations are
+  // EXACTLY the sequential single-RHS substitution loops — broadcast
+  // multiply then subtract, never fused, never reassociated — so for a
+  // FIXED backend every column of a blocked solve is bitwise-identical
+  // to the width-1 solve of that column alone. SIMD backends vectorize
+  // ACROSS the independent RHS columns (lanes never interact) and run
+  // ncols%W tail columns through single-lane non-contracting intrinsics
+  // so tails match vector lanes bit for bit.
+
+  /// y(i, :) -= sum_p a(i, p) * x(p, :), p ascending per element. Row p
+  /// of x lives at x + (xrows ? xrows[p] : p)*ldx and row i of y at
+  /// y + (yrows ? yrows[i] : i)*ldy: the forward sweep scatters panel
+  /// eliminations into mapped rows, the backward sweep gathers solved
+  /// column blocks. xskip (length k, may be null) marks x rows to skip
+  /// entirely; the dispatch wrapper precomputes it from all-zero rows so
+  /// the skip decision is backend-independent.
+  void (*rhs_panel_update)(int m, int k, int ncols, const double* a, int lda,
+                           const double* x, int ldx, const int* xrows,
+                           double* y, int ldy, const int* yrows,
+                           const unsigned char* xskip);
+  /// In-place unit-lower-triangular solve of the w x ncols row-major
+  /// panel b against the column-major diagonal block a, skipping rows
+  /// that are entirely zero (the sequential forward loop's bm == 0.0
+  /// short-cut; with negative-zero-free, non-underflowing data the skip
+  /// is unobservable in the results).
+  void (*rhs_lower_solve)(int w, int ncols, const double* a, int lda,
+                          double* b, int ldb);
+  /// In-place upper-triangular solve, LEFT-looking row order: for each
+  /// row ml descending, subtract a(ml, cl)*b(cl, :) for cl ascending,
+  /// then divide by the diagonal — the exact op order of the sequential
+  /// backward substitution rows (unlike the right-looking dtrsm_upper).
+  void (*rhs_upper_solve)(int w, int ncols, const double* a, int lda,
+                          double* b, int ldb);
 };
 
 /// Canonical lowercase name ("scalar", "avx2", "avx512", "neon").

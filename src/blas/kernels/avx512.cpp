@@ -25,6 +25,20 @@ struct Avx512Abi {
   static V add(V a, V b) { return _mm512_add_pd(a, b); }
   static V fmadd(V a, V b, V acc) { return _mm512_fmadd_pd(a, b, acc); }
   static V fnmadd(V a, V b, V acc) { return _mm512_fnmadd_pd(a, b, acc); }
+  static V mul(V a, V b) { return _mm512_mul_pd(a, b); }
+  static V sub(V a, V b) { return _mm512_sub_pd(a, b); }
+  static V div(V a, V b) { return _mm512_div_pd(a, b); }
+  // Single-lane non-contracting ops for solve-kernel tail columns: this
+  // TU compiles with -mfma, so plain double mul/sub could contract.
+  static double mul1(double a, double b) {
+    return _mm_cvtsd_f64(_mm_mul_sd(_mm_set_sd(a), _mm_set_sd(b)));
+  }
+  static double sub1(double a, double b) {
+    return _mm_cvtsd_f64(_mm_sub_sd(_mm_set_sd(a), _mm_set_sd(b)));
+  }
+  static double div1(double a, double b) {
+    return _mm_cvtsd_f64(_mm_div_sd(_mm_set_sd(a), _mm_set_sd(b)));
+  }
 };
 
 void avx512_dgemm(int m, int n, int k, double alpha, const double* a,
@@ -53,9 +67,28 @@ void avx512_dgemv(int m, int n, double alpha, const double* a, int lda,
   gemv<Avx512Abi>(m, n, alpha, a, lda, x, beta, y);
 }
 
+void avx512_rhs_panel_update(int m, int k, int ncols, const double* a,
+                             int lda, const double* x, int ldx,
+                             const int* xrows, double* y, int ldy,
+                             const int* yrows, const unsigned char* xskip) {
+  rhs_panel_update<Avx512Abi>(m, k, ncols, a, lda, x, ldx, xrows, y, ldy,
+                              yrows, xskip);
+}
+
+void avx512_rhs_lower_solve(int w, int ncols, const double* a, int lda,
+                            double* b, int ldb) {
+  rhs_lower_solve<Avx512Abi>(w, ncols, a, lda, b, ldb);
+}
+
+void avx512_rhs_upper_solve(int w, int ncols, const double* a, int lda,
+                            double* b, int ldb) {
+  rhs_upper_solve<Avx512Abi>(w, ncols, a, lda, b, ldb);
+}
+
 const KernelOps kAvx512Ops = {
     "avx512",           avx512_dgemm, avx512_dtrsm_lower_unit,
     avx512_dtrsm_upper, avx512_dger,  avx512_dgemv,
+    avx512_rhs_panel_update, avx512_rhs_lower_solve, avx512_rhs_upper_solve,
 };
 
 }  // namespace

@@ -19,7 +19,15 @@
 //   static constexpr int W;
 //   zero(), broadcast(double), load(p) (64B-aligned), loadu(p),
 //   store(p, V) (aligned), storeu(p, V), add(a, b),
-//   fmadd(a, b, acc) = acc + a*b, fnmadd(a, b, acc) = acc - a*b.
+//   fmadd(a, b, acc) = acc + a*b, fnmadd(a, b, acc) = acc - a*b;
+//   mul(a, b), sub(a, b), div(a, b) — elementwise UNFUSED vector ops
+//   for the multi-RHS solve kernels (explicit intrinsics, so the
+//   compiler cannot contract mul+sub into an FMA);
+//   mul1/sub1/div1(double, double) — the single-lane equivalents, via
+//   scalar SIMD intrinsics. These TUs compile with FMA codegen enabled,
+//   so a plain `acc - a*x` in tail code could contract and break the
+//   tail-column-equals-vector-lane bitwise contract; all solve-kernel
+//   tails go through these instead.
 //
 // The DGEMM is the classic three-level blocking: KC x MC cache tiles,
 // A packed (with alpha folded in) into MR-row strips zero-padded to a
@@ -380,6 +388,116 @@ inline void gemv(int m, int n, double alpha, const double* a, int lda,
       Abi::storeu(y + i,
                   Abi::fmadd(Abi::loadu(col + i), bs, Abi::loadu(y + i)));
     for (; i < m; ++i) y[i] += s * col[i];
+  }
+}
+
+// --- Multi-RHS blocked-solve panel kernels (serving layer) -----------
+//
+// Row-major RHS panels; contract in blas/kernel_backend.hpp. Vector
+// lanes are fully independent — every element op is broadcast-multiply
+// then subtract (mul/sub, never fmadd) — so each RHS column's
+// arithmetic chain is identical to the width-1 substitution regardless
+// of ncols or lane position. Tail columns (ncols % W) use the Abi's
+// single-lane non-contracting ops (mul1/sub1/div1); see the Abi notes
+// above for why plain double expressions are not safe here.
+
+/// y(i, :) -= sum_p a(i, p) * x(p, :), p ascending per element; row
+/// maps and skip mask per the KernelOps contract.
+template <class Abi>
+inline void rhs_panel_update(int m, int k, int ncols, const double* a,
+                             int lda, const double* x, int ldx,
+                             const int* xrows, double* y, int ldy,
+                             const int* yrows, const unsigned char* xskip) {
+  using V = typename Abi::V;
+  constexpr int W = Abi::W;
+  const int nv = ncols - ncols % W;
+  for (int i = 0; i < m; ++i) {
+    double* yr = y + static_cast<std::ptrdiff_t>(yrows ? yrows[i] : i) * ldy;
+    const double* ai = a + i;
+    for (int c = 0; c < nv; c += W) {
+      V acc = Abi::loadu(yr + c);
+      for (int p = 0; p < k; ++p) {
+        if (xskip != nullptr && xskip[p] != 0) continue;
+        const double* xr =
+            x + static_cast<std::ptrdiff_t>(xrows ? xrows[p] : p) * ldx;
+        const V av =
+            Abi::broadcast(ai[static_cast<std::ptrdiff_t>(p) * lda]);
+        acc = Abi::sub(acc, Abi::mul(av, Abi::loadu(xr + c)));
+      }
+      Abi::storeu(yr + c, acc);
+    }
+    for (int c = nv; c < ncols; ++c) {
+      double acc = yr[c];
+      for (int p = 0; p < k; ++p) {
+        if (xskip != nullptr && xskip[p] != 0) continue;
+        const double* xr =
+            x + static_cast<std::ptrdiff_t>(xrows ? xrows[p] : p) * ldx;
+        acc = Abi::sub1(acc,
+                        Abi::mul1(ai[static_cast<std::ptrdiff_t>(p) * lda],
+                                  xr[c]));
+      }
+      yr[c] = acc;
+    }
+  }
+}
+
+/// In-place unit-lower solve of the w x ncols row-major panel b; rows
+/// that are entirely zero are skipped (sequential bm == 0.0 short-cut).
+template <class Abi>
+inline void rhs_lower_solve(int w, int ncols, const double* a, int lda,
+                            double* b, int ldb) {
+  using V = typename Abi::V;
+  constexpr int W = Abi::W;
+  const int nv = ncols - ncols % W;
+  for (int ml = 0; ml < w; ++ml) {
+    const double* bm = b + static_cast<std::ptrdiff_t>(ml) * ldb;
+    bool all_zero = true;
+    for (int c = 0; c < ncols && all_zero; ++c) all_zero = bm[c] == 0.0;
+    if (all_zero) continue;
+    const double* col = a + static_cast<std::ptrdiff_t>(ml) * lda;
+    for (int i = ml + 1; i < w; ++i) {
+      double* bi = b + static_cast<std::ptrdiff_t>(i) * ldb;
+      const V av = Abi::broadcast(col[i]);
+      for (int c = 0; c < nv; c += W)
+        Abi::storeu(bi + c, Abi::sub(Abi::loadu(bi + c),
+                                     Abi::mul(av, Abi::loadu(bm + c))));
+      for (int c = nv; c < ncols; ++c)
+        bi[c] = Abi::sub1(bi[c], Abi::mul1(col[i], bm[c]));
+    }
+  }
+}
+
+/// In-place upper solve, left-looking row order (rows ml descending;
+/// per row: subtract cl-ascending, then divide by the diagonal).
+template <class Abi>
+inline void rhs_upper_solve(int w, int ncols, const double* a, int lda,
+                            double* b, int ldb) {
+  using V = typename Abi::V;
+  constexpr int W = Abi::W;
+  const int nv = ncols - ncols % W;
+  for (int ml = w - 1; ml >= 0; --ml) {
+    double* bm = b + static_cast<std::ptrdiff_t>(ml) * ldb;
+    const double diag = a[static_cast<std::ptrdiff_t>(ml) * lda + ml];
+    for (int c = 0; c < nv; c += W) {
+      V acc = Abi::loadu(bm + c);
+      for (int cl = ml + 1; cl < w; ++cl) {
+        const V av =
+            Abi::broadcast(a[static_cast<std::ptrdiff_t>(cl) * lda + ml]);
+        acc = Abi::sub(
+            acc,
+            Abi::mul(av, Abi::loadu(
+                             b + static_cast<std::ptrdiff_t>(cl) * ldb + c)));
+      }
+      Abi::storeu(bm + c, Abi::div(acc, Abi::broadcast(diag)));
+    }
+    for (int c = nv; c < ncols; ++c) {
+      double acc = bm[c];
+      for (int cl = ml + 1; cl < w; ++cl)
+        acc = Abi::sub1(
+            acc, Abi::mul1(a[static_cast<std::ptrdiff_t>(cl) * lda + ml],
+                           b[static_cast<std::ptrdiff_t>(cl) * ldb + c]));
+      bm[c] = Abi::div1(acc, diag);
+    }
   }
 }
 

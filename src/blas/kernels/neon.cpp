@@ -26,6 +26,20 @@ struct NeonAbi {
   static V add(V a, V b) { return vaddq_f64(a, b); }
   static V fmadd(V a, V b, V acc) { return vfmaq_f64(acc, a, b); }
   static V fnmadd(V a, V b, V acc) { return vfmsq_f64(acc, a, b); }
+  static V mul(V a, V b) { return vmulq_f64(a, b); }
+  static V sub(V a, V b) { return vsubq_f64(a, b); }
+  static V div(V a, V b) { return vdivq_f64(a, b); }
+  // Single-lane non-contracting ops for solve-kernel tail columns:
+  // float64x1 intrinsics stay discrete mul/sub even at -ffp-contract.
+  static double mul1(double a, double b) {
+    return vget_lane_f64(vmul_f64(vdup_n_f64(a), vdup_n_f64(b)), 0);
+  }
+  static double sub1(double a, double b) {
+    return vget_lane_f64(vsub_f64(vdup_n_f64(a), vdup_n_f64(b)), 0);
+  }
+  static double div1(double a, double b) {
+    return vget_lane_f64(vdiv_f64(vdup_n_f64(a), vdup_n_f64(b)), 0);
+  }
 };
 
 void neon_dgemm(int m, int n, int k, double alpha, const double* a, int lda,
@@ -53,9 +67,28 @@ void neon_dgemv(int m, int n, double alpha, const double* a, int lda,
   gemv<NeonAbi>(m, n, alpha, a, lda, x, beta, y);
 }
 
+void neon_rhs_panel_update(int m, int k, int ncols, const double* a, int lda,
+                           const double* x, int ldx, const int* xrows,
+                           double* y, int ldy, const int* yrows,
+                           const unsigned char* xskip) {
+  rhs_panel_update<NeonAbi>(m, k, ncols, a, lda, x, ldx, xrows, y, ldy,
+                            yrows, xskip);
+}
+
+void neon_rhs_lower_solve(int w, int ncols, const double* a, int lda,
+                          double* b, int ldb) {
+  rhs_lower_solve<NeonAbi>(w, ncols, a, lda, b, ldb);
+}
+
+void neon_rhs_upper_solve(int w, int ncols, const double* a, int lda,
+                          double* b, int ldb) {
+  rhs_upper_solve<NeonAbi>(w, ncols, a, lda, b, ldb);
+}
+
 const KernelOps kNeonOps = {
     "neon",           neon_dgemm, neon_dtrsm_lower_unit,
     neon_dtrsm_upper, neon_dger,  neon_dgemv,
+    neon_rhs_panel_update, neon_rhs_lower_solve, neon_rhs_upper_solve,
 };
 
 }  // namespace

@@ -135,9 +135,66 @@ void scalar_dgemm(int m, int n, int k, double alpha, const double* a, int lda,
   }
 }
 
+// Multi-RHS blocked-solve kernels (contract in kernel_backend.hpp).
+// These plain loops ARE the per-column bitwise reference: element op
+// order matches the sequential single-RHS substitution exactly, and the
+// SIMD backends replay the same chains lane-parallel across columns.
+
+void scalar_rhs_panel_update(int m, int k, int ncols, const double* a,
+                             int lda, const double* x, int ldx,
+                             const int* xrows, double* y, int ldy,
+                             const int* yrows, const unsigned char* xskip) {
+  for (int i = 0; i < m; ++i) {
+    double* yr =
+        y + static_cast<std::ptrdiff_t>(yrows ? yrows[i] : i) * ldy;
+    const double* ai = a + i;
+    for (int c = 0; c < ncols; ++c) {
+      double acc = yr[c];
+      for (int p = 0; p < k; ++p) {
+        if (xskip != nullptr && xskip[p] != 0) continue;
+        const double* xr =
+            x + static_cast<std::ptrdiff_t>(xrows ? xrows[p] : p) * ldx;
+        acc -= ai[static_cast<std::ptrdiff_t>(p) * lda] * xr[c];
+      }
+      yr[c] = acc;
+    }
+  }
+}
+
+void scalar_rhs_lower_solve(int w, int ncols, const double* a, int lda,
+                            double* b, int ldb) {
+  for (int ml = 0; ml < w; ++ml) {
+    const double* bm = b + static_cast<std::ptrdiff_t>(ml) * ldb;
+    bool all_zero = true;
+    for (int c = 0; c < ncols && all_zero; ++c) all_zero = bm[c] == 0.0;
+    if (all_zero) continue;
+    const double* col = a + static_cast<std::ptrdiff_t>(ml) * lda;
+    for (int i = ml + 1; i < w; ++i) {
+      double* bi = b + static_cast<std::ptrdiff_t>(i) * ldb;
+      for (int c = 0; c < ncols; ++c) bi[c] -= col[i] * bm[c];
+    }
+  }
+}
+
+void scalar_rhs_upper_solve(int w, int ncols, const double* a, int lda,
+                            double* b, int ldb) {
+  for (int ml = w - 1; ml >= 0; --ml) {
+    double* bm = b + static_cast<std::ptrdiff_t>(ml) * ldb;
+    const double diag = a[static_cast<std::ptrdiff_t>(ml) * lda + ml];
+    for (int c = 0; c < ncols; ++c) {
+      double acc = bm[c];
+      for (int cl = ml + 1; cl < w; ++cl)
+        acc -= a[static_cast<std::ptrdiff_t>(cl) * lda + ml] *
+               b[static_cast<std::ptrdiff_t>(cl) * ldb + c];
+      bm[c] = acc / diag;
+    }
+  }
+}
+
 const KernelOps kScalarOps = {
     "scalar",         scalar_dgemm, scalar_dtrsm_lower_unit,
     scalar_dtrsm_upper, scalar_dger,  scalar_dgemv,
+    scalar_rhs_panel_update, scalar_rhs_lower_solve, scalar_rhs_upper_solve,
 };
 
 }  // namespace

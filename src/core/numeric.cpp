@@ -432,49 +432,61 @@ void SStarNumeric::factorize() {
 }
 
 void SStarNumeric::forward_block(int k, std::vector<double>& b) const {
+  // A column-major n x 1 vector IS a row-major panel with ld = 1.
+  forward_block_panel(k, b.data(), 1, 1);
+}
+
+void SStarNumeric::backward_block(int k, std::vector<double>& b) const {
+  backward_block_panel(k, b.data(), 1, 1);
+}
+
+void SStarNumeric::forward_block_panel(int k, double* rhs, int ld,
+                                       int ncols) const {
   const BlockLayout& lay = *layout_;
   const int w = lay.width(k);
   const int base = lay.start(k);
-  const double* d = store_->diag(k);
-  const double* p = store_->l_panel(k);
   const auto& prows = lay.panel_rows(k);
   const int nr = static_cast<int>(prows.size());
   // Apply the block's row interchanges first (the stored block L is in
   // end-of-block position space — see factor_block), then eliminate.
+  // The diagonal solve skips all-zero panel rows and the panel update
+  // skips all-zero x rows, together replaying the single-RHS loop's
+  // bm == 0.0 short-cut: at ncols == 1 the conditions coincide exactly,
+  // at ncols > 1 a row is skipped only when every column is zero there,
+  // which never changes results for negative-zero-free data.
   for (int ml = 0; ml < w; ++ml) {
     const int m = base + ml;
     const int t = pivot_of_col_[m];
     SSTAR_CHECK_MSG(t >= 0, "solve before factorize");
-    if (t != m) std::swap(b[m], b[t]);
+    if (t != m)
+      blas::dswap(ncols, rhs + static_cast<std::ptrdiff_t>(m) * ld,
+                  rhs + static_cast<std::ptrdiff_t>(t) * ld);
   }
-  for (int ml = 0; ml < w; ++ml) {
-    const int m = base + ml;
-    const double bm = b[m];
-    if (bm == 0.0) continue;
-    const double* cd = d + static_cast<std::ptrdiff_t>(ml) * w;
-    for (int i = ml + 1; i < w; ++i) b[base + i] -= cd[i] * bm;
-    const double* cp = p + static_cast<std::ptrdiff_t>(ml) * nr;
-    for (int i = 0; i < nr; ++i) b[prows[i]] -= cp[i] * bm;
-  }
+  double* bk = rhs + static_cast<std::ptrdiff_t>(base) * ld;
+  blas::rhs_lower_solve(w, ncols, store_->diag(k), w, bk, ld);
+  if (nr > 0)
+    blas::rhs_panel_update(nr, w, ncols, store_->l_panel(k), nr, bk, ld,
+                           nullptr, rhs, ld, prows.data(),
+                           /*skip_zero_x_rows=*/true);
 }
 
-void SStarNumeric::backward_block(int k, std::vector<double>& b) const {
+void SStarNumeric::backward_block_panel(int k, double* rhs, int ld,
+                                        int ncols) const {
   const BlockLayout& lay = *layout_;
   const int w = lay.width(k);
   const int base = lay.start(k);
-  const double* d = store_->diag(k);
-  const double* u = store_->u_panel(k);
   const auto& pcols = lay.panel_cols(k);
   const int nc = static_cast<int>(pcols.size());
-  for (int ml = w - 1; ml >= 0; --ml) {
-    const int m = base + ml;
-    double acc = b[m];
-    for (int c = 0; c < nc; ++c)
-      acc -= u[static_cast<std::ptrdiff_t>(c) * w + ml] * b[pcols[c]];
-    for (int cl = ml + 1; cl < w; ++cl)
-      acc -= d[static_cast<std::ptrdiff_t>(cl) * w + ml] * b[base + cl];
-    b[m] = acc / d[static_cast<std::ptrdiff_t>(ml) * w + ml];
-  }
+  double* bk = rhs + static_cast<std::ptrdiff_t>(base) * ld;
+  // U-panel terms first — row by row they are the leading, c-ascending
+  // part of the sequential row accumulation — then the left-looking
+  // diagonal solve finishes each row with its cl-ascending terms and
+  // the divide, preserving the single-RHS op order per element.
+  if (nc > 0)
+    blas::rhs_panel_update(w, nc, ncols, store_->u_panel(k), w, rhs, ld,
+                           pcols.data(), bk, ld, nullptr,
+                           /*skip_zero_x_rows=*/false);
+  blas::rhs_upper_solve(w, ncols, store_->diag(k), w, bk, ld);
 }
 
 std::vector<double> SStarNumeric::solve(std::vector<double> b) const {
@@ -488,58 +500,35 @@ std::vector<double> SStarNumeric::solve(std::vector<double> b) const {
 void SStarNumeric::solve_multi(double* b, int nrhs) const {
   const BlockLayout& lay = *layout_;
   const int n = lay.n();
+  const int nb = lay.num_blocks();
   SSTAR_CHECK(nrhs >= 0);
   if (nrhs == 0) return;  // an empty block may come with a null pointer
   SSTAR_CHECK(b != nullptr);
-  std::vector<double> work;
-
-  // Forward: per block, apply interchanges to every column of B, then
-  // B_k = L_kk^{-1} B_k (DTRSM) and B_panel -= L_panel * B_k (DGEMM).
-  for (int k = 0; k < lay.num_blocks(); ++k) {
-    const int w = lay.width(k);
-    const int base = lay.start(k);
-    const auto& prows = lay.panel_rows(k);
-    const int nr = static_cast<int>(prows.size());
-    for (int ml = 0; ml < w; ++ml) {
-      const int m = base + ml;
-      const int t = pivot_of_col_[m];
-      SSTAR_CHECK_MSG(t >= 0, "solve_multi before factorize");
-      if (t != m)
-        blas::dswap(nrhs, b + m, b + t, n, n);
-    }
-    blas::dtrsm_lower_unit(w, nrhs, store_->diag(k), w, b + base, n);
-    if (nr > 0) {
-      work.resize(static_cast<std::size_t>(nr) *
-                  static_cast<std::size_t>(nrhs));
-      blas::dgemm(nr, nrhs, w, 1.0, store_->l_panel(k), nr, b + base, n, 0.0,
-                  work.data(), nr);
-      for (int c = 0; c < nrhs; ++c) {
-        double* bc = b + static_cast<std::ptrdiff_t>(c) * n;
-        const double* wc = work.data() + static_cast<std::ptrdiff_t>(c) * nr;
-        for (int i = 0; i < nr; ++i) bc[prows[i]] -= wc[i];
-      }
-    }
+  if (nrhs == 1) {
+    // A column-major n x 1 vector already is a row-major ld = 1 panel.
+    for (int k = 0; k < nb; ++k) forward_block_panel(k, b, 1, 1);
+    for (int k = nb - 1; k >= 0; --k) backward_block_panel(k, b, 1, 1);
+    return;
   }
-
-  // Backward: per block from the last, gather the already-solved panel
-  // columns, B_k -= U_panel * B_pcols (DGEMM), then B_k = U_kk^{-1} B_k.
-  for (int k = lay.num_blocks() - 1; k >= 0; --k) {
-    const int w = lay.width(k);
-    const int base = lay.start(k);
-    const auto& pcols = lay.panel_cols(k);
-    const int nc = static_cast<int>(pcols.size());
-    if (nc > 0) {
-      work.resize(static_cast<std::size_t>(nc) *
-                  static_cast<std::size_t>(nrhs));
-      for (int c = 0; c < nrhs; ++c) {
-        const double* bc = b + static_cast<std::ptrdiff_t>(c) * n;
-        double* wc = work.data() + static_cast<std::ptrdiff_t>(c) * nc;
-        for (int i = 0; i < nc; ++i) wc[i] = bc[pcols[i]];
-      }
-      blas::dgemm(w, nrhs, nc, -1.0, store_->u_panel(k), w, work.data(), nc,
-                  1.0, b + base, n);
-    }
-    blas::dtrsm_upper(w, nrhs, store_->diag(k), w, b + base, n);
+  // Transpose into a row-major panel (each system row's nrhs values
+  // contiguous), sweep the blocked stages once, transpose back. The
+  // sweep itself never walks the RHS column-at-a-time, and each result
+  // column is bitwise what solve() computes for that column.
+  std::vector<double> panel(static_cast<std::size_t>(n) *
+                            static_cast<std::size_t>(nrhs));
+  for (int c = 0; c < nrhs; ++c) {
+    const double* bc = b + static_cast<std::ptrdiff_t>(c) * n;
+    for (int i = 0; i < n; ++i)
+      panel[static_cast<std::size_t>(i) * nrhs + c] = bc[i];
+  }
+  for (int k = 0; k < nb; ++k)
+    forward_block_panel(k, panel.data(), nrhs, nrhs);
+  for (int k = nb - 1; k >= 0; --k)
+    backward_block_panel(k, panel.data(), nrhs, nrhs);
+  for (int c = 0; c < nrhs; ++c) {
+    double* bc = b + static_cast<std::ptrdiff_t>(c) * n;
+    for (int i = 0; i < n; ++i)
+      bc[i] = panel[static_cast<std::size_t>(i) * nrhs + c];
   }
 }
 

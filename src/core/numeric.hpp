@@ -79,6 +79,17 @@ class SStarNumeric {
   void forward_block(int k, std::vector<double>& b) const;
   void backward_block(int k, std::vector<double>& b) const;
 
+  /// Blocked multi-RHS stages over a ROW-major panel — system row r's
+  /// `ncols` right-hand-side values contiguous at rhs + r*ld — used by
+  /// the serving layer (src/serve) and by solve_multi. Per RHS column
+  /// the arithmetic is bitwise-identical to forward_block /
+  /// backward_block on that column alone: both route through the same
+  /// dispatched kernels, whose element op order is independent of ncols
+  /// (blas/kernel_backend.hpp, multi-RHS contract). forward_block and
+  /// backward_block are the ncols == 1 case.
+  void forward_block_panel(int k, double* rhs, int ld, int ncols) const;
+  void backward_block_panel(int k, double* rhs, int ld, int ncols) const;
+
   /// Solve Aᵀ x = b with the computed factors (the transposed
   /// elimination sequence: Uᵀ forward solve, then the adjoint of each
   /// block's eliminate-and-swap stage in reverse). Needed by the 1-norm
@@ -86,9 +97,11 @@ class SStarNumeric {
   std::vector<double> solve_transpose(std::vector<double> b) const;
 
   /// Solve A X = B for `nrhs` right-hand sides stored column-major in
-  /// one n x nrhs array. Runs the block forward/backward substitution
-  /// with DTRSM/DGEMM so the per-column cost amortizes (BLAS-3, unlike
-  /// repeated solve() calls).
+  /// one n x nrhs array. Transposes into a row-major panel and sweeps
+  /// it through the blocked multi-RHS kernels (DGEMM-shaped: every L/U
+  /// block is loaded once per panel, not once per column), so the
+  /// per-column cost amortizes. Each column of the result is
+  /// bitwise-identical to solve() on that column.
   void solve_multi(double* b, int nrhs) const;
 
   /// pivot_of_col()[m] = storage row swapped into step m (== m when the

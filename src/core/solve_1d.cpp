@@ -1,5 +1,6 @@
 #include "core/solve_1d.hpp"
 
+#include "core/solve_graph.hpp"
 #include "util/check.hpp"
 
 namespace sstar {
@@ -48,64 +49,27 @@ ParallelRunResult run_solve_1d(const SStarNumeric& numeric,
     bs[k] = prog.add_task(std::move(def));
   }
 
-  // Forward dependences: block j's elimination writes into the rows of
-  // every block its L panel touches.
-  for (int j = 0; j < nb; ++j) {
-    for (const BlockRef& lref : lay.l_blocks(j)) {
-      const double bytes = 8.0 * lay.width(lref.block);
-      if ((j % p) == (lref.block % p))
-        prog.add_dependency(fs[j], fs[lref.block]);
-      else
-        prog.add_message(fs[j], fs[lref.block], bytes);
-    }
-  }
-  // Pivot edges: FS(k) swaps b[m] with b[t]; every earlier block whose
-  // panel contains row t contributes to b[t] first. Build a row ->
-  // panel-blocks index once.
-  {
-    std::vector<std::vector<int>> blocks_of_row(
-        static_cast<std::size_t>(lay.n()));
-    for (int j = 0; j < nb; ++j)
-      for (const int r : lay.panel_rows(j)) blocks_of_row[r].push_back(j);
-    const auto& piv = numeric.pivot_of_col();
-    for (int k = 0; k < nb; ++k) {
-      for (int m = lay.start(k); m < lay.start(k) + lay.width(k); ++m) {
-        const int t = piv[m];
-        SSTAR_CHECK_MSG(t >= 0, "run_solve_1d before factorize");
-        if (t < lay.start(k + 1)) continue;  // within-block swap
-        for (const int j : blocks_of_row[t]) {
-          // Earlier contributors to b[t] must land before the swap;
-          // later contributors target the swapped-in value, so they wait
-          // for it. (j == k needs no edge: the swap is FS(k) itself.)
-          if (j < k) {
-            if ((j % p) == (k % p))
-              prog.add_dependency(fs[j], fs[k]);
-            else
-              prog.add_message(fs[j], fs[k], 8.0);
-          } else if (j > k) {
-            if ((j % p) == (k % p))
-              prog.add_dependency(fs[k], fs[j]);
-            else
-              prog.add_message(fs[k], fs[j], 8.0);
-          }
-        }
-      }
-    }
-  }
-  // The backward sweep starts once the forward sweep produced y: the
-  // last block's FS gates its BS (same processor, program order covers
-  // the rest transitively through the dependences below).
-  for (int k = 0; k < nb; ++k) prog.add_dependency(fs[k], bs[k]);
-  // Backward dependences: BS(k) consumes x values of blocks j > k with
-  // a nonzero U block (k, j).
-  for (int k = 0; k < nb; ++k) {
-    for (const BlockRef& uref : lay.u_blocks(k)) {
-      const double bytes = 8.0 * lay.width(k);
-      if ((k % p) == (uref.block % p))
-        prog.add_dependency(bs[uref.block], bs[k]);
-      else
-        prog.add_message(bs[uref.block], bs[k], bytes);
-    }
+  // Dependences come from the shared solve DAG (core/solve_graph): the
+  // per-row-block forward writer chains (which subsume the old explicit
+  // pivot edges — a pivot target always lies in a panel row, i.e. a row
+  // block both FS tasks write), FS(k) -> BS(k), and BS(j) -> BS(k) per
+  // nonzero U block (k, j). The chains serialize conflicting writers in
+  // sequential order, so the executed solve is bitwise equal to
+  // numeric.solve() at every processor count. Messages carry the
+  // accumulated partial sums for the destination block's rows.
+  SSTAR_CHECK_MSG(numeric.pivot_of_col().empty() ||
+                      numeric.pivot_of_col()[0] >= 0,
+                  "run_solve_1d before factorize");
+  const SolveGraph graph(lay);
+  for (const auto& e : graph.edges()) {
+    const int bu = graph.block_of(e.first);
+    const int bv = graph.block_of(e.second);
+    const sim::TaskId u = graph.is_forward(e.first) ? fs[bu] : bs[bu];
+    const sim::TaskId v = graph.is_forward(e.second) ? fs[bv] : bs[bv];
+    if ((bu % p) == (bv % p))
+      prog.add_dependency(u, v);
+    else
+      prog.add_message(u, v, 8.0 * lay.width(bv));
   }
 
   const sim::SimulationResult res = simulate(prog, machine);

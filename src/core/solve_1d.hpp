@@ -3,11 +3,11 @@
 // The paper factors in parallel and notes (§2) that the two triangular
 // solves are far cheaper than the elimination; a production solver still
 // has to run them where the factors live. This driver executes
-// Ly = Pb / Ux = y as per-supernode tasks under the 1D cyclic mapping:
-// FS(k) depends on FS(j) for every nonzero L block (k, j) (block j's
-// elimination contributes to block k's rows), and BS(k) on BS(j) for
-// every nonzero U block (k, j). Messages carry the accumulated partial
-// sums for the target block's rows.
+// Ly = Pb / Ux = y as per-supernode tasks under the 1D cyclic mapping,
+// with dependences taken from the shared solve DAG (core/solve_graph):
+// per-row-block forward writer chains, FS(k) -> BS(k), and BS(k) on
+// BS(j) for every nonzero U block (k, j). Messages carry the
+// accumulated partial sums for the target block's rows.
 #pragma once
 
 #include <vector>
@@ -19,11 +19,11 @@
 namespace sstar {
 
 /// Simulate the distributed solve (and, when `b` is non-null, execute it
-/// for real: on return *b holds the solution, equal to numeric.solve()
-/// up to summation-order rounding). The task graph includes the
-/// pivot-dependent edges: block k's row interchange reads rows that
-/// earlier blocks may still be updating, so FS(j) -> FS(k) whenever a
-/// pivot target of k lies in j's panel. `numeric` must be factorized.
+/// for real: on return *b holds the solution, BITWISE equal to
+/// numeric.solve() — the solve DAG's writer chains serialize every pair
+/// of conflicting tasks in sequential order, pivot-swap conflicts
+/// included, so any dependency-respecting execution reproduces the
+/// sequential accumulation exactly). `numeric` must be factorized.
 ParallelRunResult run_solve_1d(const SStarNumeric& numeric,
                                const sim::MachineModel& machine,
                                std::vector<double>* b = nullptr);

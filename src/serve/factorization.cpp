@@ -1,0 +1,23 @@
+#include "serve/factorization.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace sstar::serve {
+
+Factorization::Factorization(std::unique_ptr<Solver> solver)
+    : solver_(std::move(solver)), graph_(solver_->layout()) {
+  SSTAR_CHECK_MSG(solver_ != nullptr, "Factorization from null solver");
+  SSTAR_CHECK_MSG(solver_->factorized(),
+                  "Factorization requires a factorized Solver");
+}
+
+std::shared_ptr<const Factorization> Factorization::create(
+    const SparseMatrix& a, SolverOptions opt) {
+  auto solver = std::make_unique<Solver>(a, opt);
+  solver->factorize();
+  return std::make_shared<const Factorization>(std::move(solver));
+}
+
+}  // namespace sstar::serve

@@ -1,0 +1,50 @@
+// Immutable, shareable handle over a factorized Solver — the serving
+// layer's "factor once, solve millions of times" anchor (DESIGN.md §14).
+//
+// Immutability argument: a Factorization exposes ONLY const views. The
+// wrapped Solver is owned uniquely behind a const pointer, so no code
+// path can mutate it after construction, and every member reached
+// through the handle during a solve — the BlockStore payloads, the
+// pivot order, the layout, the permutations/scales in SolverSetup, the
+// prebuilt SolveGraph — is written before the handle exists and only
+// read afterwards. (SStarNumeric's mutable members, the stats mutex and
+// factorization scratch, are touched by factorization kernels only,
+// never by the const solve paths.) Publication of the factor's writes
+// to reader threads rides on the usual shared_ptr hand-off: whatever
+// synchronization passes the handle to a thread also orders the writes
+// before the reads. Hence any number of threads may solve against one
+// Factorization concurrently with no locking; per-request mutable state
+// lives in each thread's SolveSession (serve/session.hpp).
+#pragma once
+
+#include <memory>
+
+#include "core/solve_graph.hpp"
+#include "solve/solver.hpp"
+
+namespace sstar::serve {
+
+class Factorization {
+ public:
+  /// Adopt an already-factorized solver (throws CheckError otherwise).
+  /// The solve DAG is built here, once, and replayed by every session.
+  explicit Factorization(std::unique_ptr<Solver> solver);
+
+  /// Prepare + factorize `a` and wrap the result: the one-call path for
+  /// servers that do not need to inspect the Solver in between.
+  static std::shared_ptr<const Factorization> create(const SparseMatrix& a,
+                                                     SolverOptions opt = {});
+
+  int n() const { return solver_->layout().n(); }
+  const Solver& solver() const { return *solver_; }
+  const SolverSetup& setup() const { return solver_->setup(); }
+  const BlockLayout& layout() const { return solver_->layout(); }
+  const SStarNumeric& numeric() const { return solver_->numeric(); }
+  const SolveGraph& graph() const { return graph_; }
+
+ private:
+  std::unique_ptr<const Solver> solver_;  // members below view into it
+  SolveGraph graph_;
+};
+
+}  // namespace sstar::serve

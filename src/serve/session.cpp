@@ -1,0 +1,110 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "trace/trace.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace sstar::serve {
+
+SolveSession::SolveSession(std::shared_ptr<const Factorization> factor,
+                           SessionOptions opt)
+    : factor_(std::move(factor)), opt_(opt) {
+  SSTAR_CHECK_MSG(factor_ != nullptr, "SolveSession from null factorization");
+  SSTAR_CHECK(opt_.panel_width >= 1);
+  const SolveGraph& graph = factor_->graph();
+  const SStarNumeric* num = &factor_->numeric();
+  const int nb = graph.num_blocks();
+  panel_.reserve(static_cast<std::size_t>(factor_->n()) *
+                 static_cast<std::size_t>(opt_.panel_width));
+
+  // Build the task closures once; each sweep replays them against the
+  // current panel. Closures read panel_/cur_cols_ through `this` so a
+  // later resize never invalidates them.
+  tasks_.resize(static_cast<std::size_t>(graph.num_tasks()));
+  for (int k = 0; k < nb; ++k) {
+    tasks_[static_cast<std::size_t>(graph.forward_task(k))].run =
+        [this, num, k] {
+          const trace::KernelSpan span(trace::EventKind::kFSolve, k, -1);
+          num->forward_block_panel(k, panel_.data(), cur_cols_, cur_cols_);
+        };
+    tasks_[static_cast<std::size_t>(graph.backward_task(k))].run =
+        [this, num, k] {
+          const trace::KernelSpan span(trace::EventKind::kBSolve, k, -1);
+          num->backward_block_panel(k, panel_.data(), cur_cols_, cur_cols_);
+        };
+  }
+  edges_.reserve(graph.edges().size());
+  for (const auto& e : graph.edges())
+    edges_.push_back({e.first, e.second});
+}
+
+void SolveSession::sweep(int ncols) {
+  cur_cols_ = ncols;
+  ++stats_.sweeps;
+  if (opt_.threads <= 1) {
+    // Inline sequential replay: exactly the order solve() uses.
+    const int nb = factor_->graph().num_blocks();
+    for (int k = 0; k < nb; ++k) tasks_[static_cast<std::size_t>(k)].run();
+    for (int k = nb - 1; k >= 0; --k)
+      tasks_[static_cast<std::size_t>(nb + k)].run();
+    return;
+  }
+  exec::ExecOptions eopt;
+  eopt.threads = opt_.threads;
+  exec::run_dag(tasks_, edges_, eopt);
+}
+
+std::vector<double> SolveSession::solve(const std::vector<double>& b) {
+  return solve_multi(b, 1);
+}
+
+std::vector<double> SolveSession::solve_multi(const std::vector<double>& b,
+                                              int nrhs) {
+  const WallTimer timer;
+  const int n = factor_->n();
+  SSTAR_CHECK(nrhs >= 0);
+  SSTAR_CHECK(static_cast<std::int64_t>(b.size()) ==
+              static_cast<std::int64_t>(n) * nrhs);
+  const SolverSetup& setup = factor_->setup();
+  const bool eq = !setup.row_scale.empty();
+  std::vector<double> x(b.size());
+
+  for (int c0 = 0; c0 < nrhs; c0 += opt_.panel_width) {
+    const int w = std::min(opt_.panel_width, nrhs - c0);
+    panel_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(w));
+    // Permute (and scale) the chunk's columns into the row-major panel —
+    // per column the exact Solver::solve expressions, so chunking is
+    // invisible bitwise.
+    for (int i = 0; i < n; ++i) {
+      const int orig = setup.row_perm[i];
+      double* row = panel_.data() + static_cast<std::ptrdiff_t>(i) * w;
+      for (int c = 0; c < w; ++c) {
+        const double v = b[static_cast<std::size_t>(c0 + c) *
+                               static_cast<std::size_t>(n) +
+                           static_cast<std::size_t>(orig)];
+        row[c] = eq ? v * setup.row_scale[static_cast<std::size_t>(orig)] : v;
+      }
+    }
+    sweep(w);
+    for (int j = 0; j < n; ++j) {
+      const int orig = setup.col_perm[j];
+      const double* row = panel_.data() + static_cast<std::ptrdiff_t>(j) * w;
+      for (int c = 0; c < w; ++c) {
+        const double v = row[c];
+        x[static_cast<std::size_t>(c0 + c) * static_cast<std::size_t>(n) +
+          static_cast<std::size_t>(orig)] =
+            eq ? v * setup.col_scale[static_cast<std::size_t>(orig)] : v;
+      }
+    }
+  }
+
+  ++stats_.requests;
+  stats_.columns += nrhs;
+  stats_.seconds += timer.seconds();
+  return x;
+}
+
+}  // namespace sstar::serve

@@ -7,21 +7,22 @@
 namespace sstar {
 
 namespace {
+
 double norm1(const std::vector<double>& v) {
   double s = 0.0;
   for (const double x : v) s += std::fabs(x);
   return s;
 }
-}  // namespace
 
-ConditionEstimate estimate_condition(const Solver& solver,
-                                     const SparseMatrix& a,
-                                     int max_iterations) {
-  SSTAR_CHECK(solver.factorized());
-  SSTAR_CHECK(a.rows() == a.cols());
+// Hager's iteration: maximize ||A^{-1} x||_1 over the unit 1-norm ball,
+// moving between the ball's smooth region (via the gradient sign(y)
+// pushed through A^{-T}) and its vertices e_j. Parameterized over the
+// two solve callables so the Solver and SolveSession entry points share
+// one (bitwise-identical) iteration body.
+template <typename SolveFn, typename SolveTFn>
+ConditionEstimate hager_estimate(const SparseMatrix& a, int max_iterations,
+                                 SolveFn&& solve, SolveTFn&& solve_t) {
   const int n = a.rows();
-  SSTAR_CHECK(n > 0);
-
   ConditionEstimate est;
   for (int j = 0; j < n; ++j) {
     double colsum = 0.0;
@@ -30,19 +31,16 @@ ConditionEstimate estimate_condition(const Solver& solver,
     est.a_norm1 = std::max(est.a_norm1, colsum);
   }
 
-  // Hager's iteration: maximize ||A^{-1} x||_1 over the unit 1-norm
-  // ball, moving between the ball's smooth region (via the gradient
-  // sign(y) pushed through A^{-T}) and its vertices e_j.
   std::vector<double> x(static_cast<std::size_t>(n), 1.0 / n);
   int last_j = -1;
   for (int iter = 0; iter < max_iterations; ++iter) {
-    const std::vector<double> y = solver.solve(x);
+    const std::vector<double> y = solve(x);
     ++est.solves;
     est.inv_norm1 = std::max(est.inv_norm1, norm1(y));
 
     std::vector<double> xi(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i) xi[i] = y[i] >= 0.0 ? 1.0 : -1.0;
-    const std::vector<double> z = solver.solve_transpose(xi);
+    const std::vector<double> z = solve_t(xi);
     ++est.solves;
 
     int j = 0;
@@ -59,6 +57,32 @@ ConditionEstimate estimate_condition(const Solver& solver,
   }
   est.condition = est.a_norm1 * est.inv_norm1;
   return est;
+}
+
+}  // namespace
+
+ConditionEstimate estimate_condition(const Solver& solver,
+                                     const SparseMatrix& a,
+                                     int max_iterations) {
+  SSTAR_CHECK(solver.factorized());
+  SSTAR_CHECK(a.rows() == a.cols());
+  SSTAR_CHECK(a.rows() > 0);
+  return hager_estimate(
+      a, max_iterations,
+      [&](const std::vector<double>& v) { return solver.solve(v); },
+      [&](const std::vector<double>& v) { return solver.solve_transpose(v); });
+}
+
+ConditionEstimate estimate_condition(serve::SolveSession& session,
+                                     const SparseMatrix& a,
+                                     int max_iterations) {
+  SSTAR_CHECK(a.rows() == a.cols());
+  SSTAR_CHECK(a.rows() > 0);
+  const Solver& solver = session.factorization().solver();
+  return hager_estimate(
+      a, max_iterations,
+      [&](const std::vector<double>& v) { return session.solve(v); },
+      [&](const std::vector<double>& v) { return solver.solve_transpose(v); });
 }
 
 }  // namespace sstar

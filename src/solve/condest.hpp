@@ -8,6 +8,7 @@
 // demo and a solver.
 #pragma once
 
+#include "serve/session.hpp"
 #include "solve/solver.hpp"
 
 namespace sstar {
@@ -21,6 +22,16 @@ struct ConditionEstimate {
 
 /// Estimate cond_1(A). `solver` must be factorized on `a`.
 ConditionEstimate estimate_condition(const Solver& solver,
+                                     const SparseMatrix& a,
+                                     int max_iterations = 5);
+
+/// Same estimate through a serving session: forward solves route
+/// through the session's panel sweep (the session also books them in
+/// its stats), transpose solves through the wrapped solver. BITWISE
+/// equal to the Solver overload — session solves reproduce
+/// Solver::solve exactly. `a` must be the matrix the session's
+/// factorization was built from.
+ConditionEstimate estimate_condition(serve::SolveSession& session,
                                      const SparseMatrix& a,
                                      int max_iterations = 5);
 

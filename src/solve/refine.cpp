@@ -1,6 +1,8 @@
 #include "solve/refine.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "util/check.hpp"
 
@@ -31,6 +33,44 @@ double backward_error(const SparseMatrix& a, const std::vector<double>& x,
   return e;
 }
 
+// Pointer-based variant for one panel column, arithmetic in the exact
+// vector-path order so the two entry points agree bitwise.
+double backward_error_col(const SparseMatrix& a, const double* x,
+                          const double* b, const double* r) {
+  const int n = a.rows();
+  std::vector<double> denom(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) denom[i] = std::fabs(b[i]);
+  for (int j = 0; j < a.cols(); ++j) {
+    const double xj = std::fabs(x[j]);
+    if (xj == 0.0) continue;
+    for (int k = a.col_begin(j); k < a.col_end(j); ++k)
+      denom[a.row_idx()[k]] += std::fabs(a.values()[k]) * xj;
+  }
+  double e = 0.0;
+  for (int i = 0; i < n; ++i) {
+    if (r[i] == 0.0) continue;
+    e = std::max(e, denom[i] > 0.0 ? std::fabs(r[i]) / denom[i] : 1e300);
+  }
+  return e;
+}
+
+}  // namespace
+
+namespace {
+
+// One column of A x in EXACTLY SparseMatrix::multiply's element order
+// (j ascending, skip x_j == 0, scattered adds), so the panel refinement
+// path reproduces the single-RHS residuals bitwise.
+void multiply_column(const SparseMatrix& a, const double* x, double* y) {
+  for (int i = 0; i < a.rows(); ++i) y[i] = 0.0;
+  for (int j = 0; j < a.cols(); ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    for (int k = a.col_begin(j); k < a.col_end(j); ++k)
+      y[a.row_idx()[k]] += a.values()[k] * xj;
+  }
+}
+
 }  // namespace
 
 RefineResult refined_solve(const Solver& solver, const SparseMatrix& a,
@@ -57,6 +97,68 @@ RefineResult refined_solve(const Solver& solver, const SparseMatrix& a,
     if (out.iterations == opt.max_iterations) break;
     const std::vector<double> dx = solver.solve(r);
     for (std::size_t i = 0; i < b.size(); ++i) out.x[i] += dx[i];
+  }
+  return out;
+}
+
+RefineMultiResult refined_solve_multi(serve::SolveSession& session,
+                                      const SparseMatrix& a,
+                                      const std::vector<double>& b, int nrhs,
+                                      const RefineOptions& opt) {
+  SSTAR_CHECK(a.rows() == a.cols());
+  SSTAR_CHECK(nrhs >= 0);
+  const int n = a.rows();
+  SSTAR_CHECK(static_cast<std::int64_t>(b.size()) ==
+              static_cast<std::int64_t>(n) * nrhs);
+
+  RefineMultiResult out;
+  out.x = session.solve_multi(b, nrhs);
+  out.iterations.assign(static_cast<std::size_t>(nrhs), 0);
+  out.backward_error.assign(static_cast<std::size_t>(nrhs), 0.0);
+  out.converged.assign(static_cast<std::size_t>(nrhs), false);
+
+  // All still-unconverged columns sweep the factor as ONE panel per
+  // iteration; columns drop out as they converge. Residual and
+  // backward-error arithmetic per column matches refined_solve exactly,
+  // and the panel solves are per-column bitwise equal to Solver::solve,
+  // so every column's trajectory is bitwise the single-RHS trajectory.
+  std::vector<int> active(static_cast<std::size_t>(nrhs));
+  for (int c = 0; c < nrhs; ++c) active[static_cast<std::size_t>(c)] = c;
+  std::vector<double> r(static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(nrhs));
+  std::vector<double> ax(static_cast<std::size_t>(n));
+  std::vector<double> rpanel, dx;
+  for (int iter = 0; iter <= opt.max_iterations && !active.empty(); ++iter) {
+    std::vector<int> still;
+    for (const int c : active) {
+      const double* bc = b.data() + static_cast<std::ptrdiff_t>(c) * n;
+      double* xc = out.x.data() + static_cast<std::ptrdiff_t>(c) * n;
+      double* rc = r.data() + static_cast<std::ptrdiff_t>(c) * n;
+      multiply_column(a, xc, ax.data());
+      for (int i = 0; i < n; ++i) rc[i] = bc[i] - ax[i];
+      out.iterations[static_cast<std::size_t>(c)] = iter;
+      out.backward_error[static_cast<std::size_t>(c)] =
+          backward_error_col(a, xc, bc, rc);
+      if (out.backward_error[static_cast<std::size_t>(c)] <= opt.tolerance)
+        out.converged[static_cast<std::size_t>(c)] = true;
+      else
+        still.push_back(c);
+    }
+    active = std::move(still);
+    if (iter == opt.max_iterations || active.empty()) break;
+    const int na = static_cast<int>(active.size());
+    rpanel.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(na));
+    for (int q = 0; q < na; ++q)
+      std::copy_n(r.data() +
+                      static_cast<std::ptrdiff_t>(active[static_cast<std::size_t>(q)]) * n,
+                  n, rpanel.data() + static_cast<std::ptrdiff_t>(q) * n);
+    dx = session.solve_multi(rpanel, na);
+    for (int q = 0; q < na; ++q) {
+      double* xc = out.x.data() +
+                   static_cast<std::ptrdiff_t>(active[static_cast<std::size_t>(q)]) * n;
+      const double* dc = dx.data() + static_cast<std::ptrdiff_t>(q) * n;
+      for (int i = 0; i < n; ++i) xc[i] += dc[i];
+    }
   }
   return out;
 }

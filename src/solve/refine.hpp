@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "serve/session.hpp"
 #include "solve/solver.hpp"
 
 namespace sstar {
@@ -34,5 +35,26 @@ struct RefineResult {
 RefineResult refined_solve(const Solver& solver, const SparseMatrix& a,
                            const std::vector<double>& b,
                            const RefineOptions& opt = {});
+
+/// Multi-RHS refinement through a serving session (serve/session.hpp):
+/// per-column diagnostics over a column-major n x nrhs panel.
+struct RefineMultiResult {
+  std::vector<double> x;               ///< column-major n x nrhs solution
+  std::vector<int> iterations;         ///< per column: sweeps performed
+  std::vector<double> backward_error;  ///< per column: final estimate
+  std::vector<bool> converged;         ///< per column
+};
+
+/// Solve A X = B with iterative refinement, sweeping all still-active
+/// columns through the factor as one panel per iteration (never routing
+/// columns one-by-one through the single-RHS path). Column c of the
+/// result is BITWISE identical to refined_solve(solver, a, B[:,c], opt)
+/// on the session's wrapped solver: the panel solves are per-column
+/// bitwise equal to Solver::solve, and the residual/backward-error
+/// arithmetic replicates the single-RHS order exactly.
+RefineMultiResult refined_solve_multi(serve::SolveSession& session,
+                                      const SparseMatrix& a,
+                                      const std::vector<double>& b, int nrhs,
+                                      const RefineOptions& opt = {});
 
 }  // namespace sstar

@@ -109,7 +109,8 @@ std::string breakdown_table(const PhaseBreakdown& b) {
   os << "spans: F=" << b.kind_count[0] << " S=" << b.kind_count[1]
      << " U=" << b.kind_count[2] << " send=" << b.kind_count[3]
      << " recv=" << b.kind_count[4] << " palloc=" << b.kind_count[5]
-     << " pfree=" << b.kind_count[6] << "; total flops " << b.total_flops
+     << " pfree=" << b.kind_count[6] << " FS=" << b.kind_count[7]
+     << " BS=" << b.kind_count[8] << "; total flops " << b.total_flops
      << "; bytes sent " << b.total_sent_bytes << " / received "
      << b.total_recv_bytes << "\n";
   return os.str();

@@ -44,8 +44,8 @@ struct PhaseBreakdown {
   std::int64_t sends = 0;
   std::int64_t recvs = 0;
   /// Per-kind span counts indexed by EventKind.
-  std::int64_t kind_count[7] = {0, 0, 0, 0, 0, 0, 0};
-  double kind_seconds[7] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  std::int64_t kind_count[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+  double kind_seconds[9] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
 
   double total_compute() const;
   double total_comm_wait() const;

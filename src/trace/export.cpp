@@ -32,6 +32,8 @@ const char* kind_tag(EventKind k) {
     case EventKind::kRecvWait: return "recv";
     case EventKind::kPanelAlloc: return "panel_alloc";
     case EventKind::kPanelFree: return "panel_free";
+    case EventKind::kFSolve: return "fsolve";
+    case EventKind::kBSolve: return "bsolve";
   }
   return "?";
 }
@@ -49,6 +51,8 @@ EventKind kind_from_tag(const std::string& s) {
   if (s == "recv") return EventKind::kRecvWait;
   if (s == "panel_alloc") return EventKind::kPanelAlloc;
   if (s == "panel_free") return EventKind::kPanelFree;
+  if (s == "fsolve") return EventKind::kFSolve;
+  if (s == "bsolve") return EventKind::kBSolve;
   throw CheckError("chrome trace: unknown event kind tag '" + s + "'");
 }
 

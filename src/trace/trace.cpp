@@ -12,7 +12,8 @@ namespace sstar::trace {
 
 bool is_kernel(EventKind k) {
   return k == EventKind::kFactor || k == EventKind::kScale ||
-         k == EventKind::kUpdate;
+         k == EventKind::kUpdate || k == EventKind::kFSolve ||
+         k == EventKind::kBSolve;
 }
 
 bool is_panel_cache(EventKind k) {
@@ -28,6 +29,8 @@ const char* kind_name(EventKind k) {
     case EventKind::kRecvWait: return "recv";
     case EventKind::kPanelAlloc: return "palloc";
     case EventKind::kPanelFree: return "pfree";
+    case EventKind::kFSolve: return "FS";
+    case EventKind::kBSolve: return "BS";
   }
   return "?";
 }
@@ -35,8 +38,9 @@ const char* kind_name(EventKind k) {
 std::string event_label(const TraceEvent& e) {
   std::ostringstream os;
   os << kind_name(e.kind) << "(";
-  if (e.kind == EventKind::kFactor) {
-    os << e.k;
+  if (e.kind == EventKind::kFactor || e.kind == EventKind::kFSolve ||
+      e.kind == EventKind::kBSolve) {
+    os << e.k;  // single-supernode spans print the block alone
   } else if (is_kernel(e.kind)) {
     os << e.k << "," << e.j;
   } else {

@@ -46,15 +46,18 @@ enum class EventKind : std::uint8_t {
   kRecvWait,    ///< transport recv: span from call to match, bytes matched
   kPanelAlloc,  ///< DistBlockStore cached a remote panel: instant, bytes
   kPanelFree,   ///< DistBlockStore released a cached panel: instant, bytes
+  kFSolve,      ///< forward-solve task FS(k) span (serving layer, j == -1)
+  kBSolve,      ///< backward-solve task BS(k) span (serving layer, j == -1)
 };
 
-/// True for the three kernel span kinds.
+/// True for the kernel span kinds (factor/scale/update and the solve
+/// stages FS/BS).
 bool is_kernel(EventKind k);
 
 /// True for the panel-cache instant kinds (alloc/free).
 bool is_panel_cache(EventKind k);
 
-/// "F", "S", "U", "send", "recv", "palloc", "pfree".
+/// "F", "S", "U", "send", "recv", "palloc", "pfree", "FS", "BS".
 const char* kind_name(EventKind k);
 
 struct TraceEvent {
