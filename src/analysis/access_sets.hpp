@@ -10,6 +10,15 @@
 // diagonal block or L panel, so the blocks ScaleSwap(k, j) may touch are
 // exactly {(i, j) : i = k or i a row block of l_blocks(k)}.
 //
+// That confinement is PIVOT-POLICY independent. Threshold pivoting
+// (core/pivot.hpp) changes which candidate row Factor(k) keeps — it
+// never changes the candidate set, which is fixed by the static
+// structure. So one declared access set, one task DAG, and one message
+// plan cover every PivotPolicy; the audits below apply verbatim to
+// relaxed-threshold runs (tests/test_pivot.cpp, PivotAudit.*, proves
+// this, and the serializer's apply-side check pinpoints any panel that
+// would violate it regardless of the sender's policy).
+//
 // These declared sets are the contract the dependence auditor
 // (analysis/audit.hpp) verifies: the task DAG must order every pair of
 // tasks whose sets conflict (W/W or R/W on the same resource), and the

@@ -1,0 +1,46 @@
+// Machine-independent realized critical path of a traced factorization.
+//
+// trace::realized_critical_path() walks the happens-before chain of one
+// EXECUTED run — the right measurement when the run had real
+// parallelism, but on a machine with fewer cores than workers its
+// makespan degenerates to total work. This analyzer computes the
+// complementary quantity: the longest path through the LU task DAG
+// (core/task_graph) where every task is weighted by its MEASURED kernel
+// span durations from the trace. That is the realized critical path an
+// unbounded-parallelism execution of the same kernels would serialize
+// on — measured arithmetic, not model costs — and it is the metric the
+// threshold-pivoting ablation (bench/bench_pivot) reports: delayed-
+// pivoting row interchanges sit on the Factor(k) -> ScaleSwap/Update
+// (k, k+1) -> Factor(k+1) spine, so a policy that removes interchanges
+// shortens precisely this path.
+//
+// Task weights: Factor(k) <- the kFactor(k) span; the combined
+// ScaleSwap+Update(k, j) task <- the kScale(k, j) + kUpdate(k, j)
+// spans. Spans from any lane accumulate, so the analyzer accepts traces
+// of sequential, shared-memory, and message-passing runs alike (pass
+// one run per trace; repetitions would double-count).
+#pragma once
+
+#include <vector>
+
+#include "core/task_graph.hpp"
+#include "trace/trace.hpp"
+
+namespace sstar::analysis {
+
+struct DagCriticalPath {
+  double seconds = 0.0;         ///< longest task-weighted path
+  double factor_seconds = 0.0;  ///< Factor span time on the path
+  double scale_seconds = 0.0;   ///< ScaleSwap span time on the path
+  double update_seconds = 0.0;  ///< Update span time on the path
+  double total_seconds = 0.0;   ///< all kernel span time (= work)
+  std::vector<int> tasks;       ///< path task ids, elimination order
+};
+
+/// Longest measured-weight path through `graph` for the spans in
+/// `trace`. Spans that match no task (solve kernels, comm events) are
+/// ignored; tasks with no matching span weigh zero.
+DagCriticalPath realized_dag_critical_path(const trace::Trace& trace,
+                                           const LuTaskGraph& graph);
+
+}  // namespace sstar::analysis

@@ -8,8 +8,11 @@ namespace sstar::comm {
 
 namespace {
 
-// 'SPNL' — S* panel. Bumped if the wire format ever changes.
-constexpr std::uint32_t kMagic = 0x53504E4Cu;
+// 'SPNM' — S* panel + pivot monitor. Bumped from 'SPNL' when the
+// per-column stability-monitor pairs (|pivot|, colmax) joined the
+// payload; a pre-monitor peer's panel now fails the magic check
+// instead of being silently misread.
+constexpr std::uint32_t kMagic = 0x53504E4Du;
 
 struct Header {
   std::uint32_t magic = kMagic;
@@ -36,8 +39,10 @@ const std::uint8_t* consume(const std::uint8_t* in, T* data, std::size_t n) {
 std::size_t factor_panel_bytes(const BlockLayout& layout, int k) {
   const std::size_t w = static_cast<std::size_t>(layout.width(k));
   const std::size_t nr = layout.panel_rows(k).size();
+  // Header + pivot rows + per-column (|pivot|, colmax) monitor pairs +
+  // diagonal block + L panel.
   return sizeof(Header) + w * sizeof(std::int32_t) +
-         (w * w + nr * w) * sizeof(double);
+         2 * w * sizeof(double) + (w * w + nr * w) * sizeof(double);
 }
 
 std::vector<std::uint8_t> serialize_factor_panel(const SStarNumeric& numeric,
@@ -65,6 +70,16 @@ std::vector<std::uint8_t> serialize_factor_panel(const SStarNumeric& numeric,
     piv[static_cast<std::size_t>(i)] = t;
   }
   append(out, piv.data(), piv.size());
+
+  // The stability monitor rides with the pivot sequence: per column the
+  // chosen pivot magnitude and the column max it was measured against,
+  // so consumers (and the merged result of a distributed run) can audit
+  // the threshold property and the growth bound without re-running the
+  // pivot search.
+  append(out, numeric.pivot_magnitudes().data() + base,
+         static_cast<std::size_t>(w));
+  append(out, numeric.pivot_colmaxes().data() + base,
+         static_cast<std::size_t>(w));
 
   const BlockStore& data = numeric.data();
   append(out, data.diag(k), static_cast<std::size_t>(w) * w);
@@ -96,13 +111,18 @@ void apply_factor_panel(SStarNumeric& numeric, int k,
   std::vector<std::int32_t> piv(static_cast<std::size_t>(w));
   in = consume(in, piv.data(), piv.size());
   std::vector<int> rows(piv.begin(), piv.end());
+  std::vector<double> mags(static_cast<std::size_t>(w));
+  std::vector<double> colmaxes(static_cast<std::size_t>(w));
+  in = consume(in, mags.data(), mags.size());
+  in = consume(in, colmaxes.data(), colmaxes.size());
 
   // Validate the pivot sequence BEFORE touching the receiver's storage:
-  // Theorem 1 confines block k's pivoting to its own panel, so every
-  // pivot of column base+i must be a storage row of the panel — either
-  // in the remaining diagonal range [base+i, base+w) or one of the
-  // panel's L rows. A corrupt/hostile payload is rejected with the
-  // store left untouched.
+  // Theorem 1 confines block k's pivoting to its own panel — UNDER ANY
+  // PivotPolicy, since threshold pivoting only relaxes the choice
+  // WITHIN the same candidate set — so every pivot of column base+i
+  // must be a storage row of the panel: either in the remaining
+  // diagonal range [base+i, base+w) or one of the panel's L rows. A
+  // corrupt/hostile payload is rejected with the store left untouched.
   const int base = lay.start(k);
   const int n = lay.n();
   for (int i = 0; i < w; ++i) {
@@ -115,12 +135,24 @@ void apply_factor_panel(SStarNumeric& numeric, int k,
                                               << base + i << " is row " << r
                                               << ", outside the panel");
   }
+  // The monitor pairs must be coherent (0 < |pivot| <= colmax) before
+  // anything lands in the store; adopt_pivot_monitor re-checks, but
+  // doing it here keeps the all-or-nothing apply contract.
+  for (int i = 0; i < w; ++i) {
+    const double mag = mags[static_cast<std::size_t>(i)];
+    const double cm = colmaxes[static_cast<std::size_t>(i)];
+    SSTAR_CHECK_MSG(mag > 0.0 && cm >= mag,
+                    "factor panel for block "
+                        << k << ": pivot monitor of column " << base + i
+                        << " claims |pivot| = " << mag << ", colmax = " << cm);
+  }
 
   BlockStore& data = numeric.data();
   data.on_panel_received(k);
   in = consume(in, data.diag(k), static_cast<std::size_t>(w) * w);
   consume(in, data.l_panel(k), nr * static_cast<std::size_t>(w));
   numeric.adopt_pivots(k, rows.data());
+  numeric.adopt_pivot_monitor(k, mags.data(), colmaxes.data());
 }
 
 }  // namespace sstar::comm

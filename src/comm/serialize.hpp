@@ -2,7 +2,10 @@
 //
 // The only data the paper's SPMD LU programs ever communicate is the
 // outcome of Factor(k): the factored diagonal block, the L panel of
-// supernode k, and the block's pivot (row-interchange) sequence — the
+// supernode k, the block's pivot (row-interchange) sequence, and the
+// per-column stability-monitor pairs (|chosen pivot|, column max) that
+// let any consumer audit the active PivotPolicy's threshold property
+// without re-running the pivot search — the
 // "column block k + pivot sequence" broadcast of Fig. 10 and the
 // L/pivot multicasts of the 2D code. This module packs exactly that
 // into a flat byte buffer and applies a received buffer into a rank's

@@ -16,6 +16,7 @@ struct Builder {
   const sim::MachineModel& m;
   bool async;
   SStarNumeric* numeric;
+  const std::vector<int>* offd;  // realized off-diagonal interchanges
   int pr, pc;
   sim::ParallelProgram prog;
 
@@ -24,9 +25,20 @@ struct Builder {
   sim::TaskId prev_barrier = -1;
 
   Builder(const BlockLayout& l, const sim::MachineModel& mm, bool as,
-          SStarNumeric* num)
-      : lay(l), m(mm), async(as), numeric(num), pr(mm.grid.rows),
+          SStarNumeric* num, const std::vector<int>* od)
+      : lay(l), m(mm), async(as), numeric(num), offd(od), pr(mm.grid.rows),
         pc(mm.grid.cols), prog(mm.processors) {}
+
+  // Columns of block k whose pivot row actually moves. Without realized
+  // counts every column is charged (the historic worst case, == width);
+  // with them, only the columns whose pivot left the diagonal pay the
+  // winner-subrow broadcast and the delayed-interchange exchange — a
+  // column that kept its diagonal moves no rows, the owner already
+  // holds the pivot row.
+  double moved_cols(int k) const {
+    if (!offd) return static_cast<double>(lay.width(k));
+    return static_cast<double>((*offd)[static_cast<std::size_t>(k)]);
+  }
 
   int proc(int r, int c) const { return r * pc + c; }
 
@@ -77,7 +89,12 @@ struct Builder {
     // local maxima over the p_r processor rows plus a broadcast of the
     // winning subrow (lines 05-08 of Fig. 13) — serialized rounds the 2D
     // code cannot avoid (the "frequent and well-synchronized
-    // interprocessor communication" §4.3 warns about).
+    // interprocessor communication" §4.3 warns about). The reduction
+    // round is policy-independent; the winner-subrow broadcast is only
+    // needed when the winner is NOT the diagonal row the owner already
+    // holds, so with realized interchange counts that second round is
+    // charged per off-diagonal pivot (count == w reproduces the
+    // historic 2w rounds exactly).
     std::function<void()> run;
     if (numeric) {
       SStarNumeric* num = numeric;
@@ -86,7 +103,7 @@ struct Builder {
     const double log_pr = std::ceil(std::log2(std::max(2, pr)));
     const double piv_seconds =
         m.compute_seconds(static_cast<double>(w) * pr, 0.0, 0.0) +
-        (pr > 1 ? 2.0 * w * log_pr * m.latency : 0.0);
+        (pr > 1 ? (w + moved_cols(k)) * log_pr * m.latency : 0.0);
     ids.fp = add(proc(kr, kc), piv_seconds, "FP(" + std::to_string(k) + ")",
                  k, kKindFactor, std::move(run),
                  {{sim::KernelCall::Kind::kFactor, k, k}});
@@ -131,12 +148,18 @@ struct Builder {
     // overlap at min(p_r - 1, p_c) in Theorem 2. We model it with an
     // exchange half-step SX (gather + send the local subrow pieces)
     // followed by the apply step SW that waits for the peers' pieces.
-    const double exch_bytes = 8.0 * w * ncols_total / pc / std::max(1, pr);
+    // Only columns whose realized pivot left the diagonal move subrows
+    // (`moved` == w when no realized counts were supplied): an
+    // interchange-free step degenerates to the pivot-sequence multicast
+    // that already gates SX, with nothing to exchange afterwards.
+    const double moved = moved_cols(k);
+    const double exch_bytes =
+        8.0 * moved * ncols_total / pc / std::max(1, pr);
     std::vector<sim::TaskId> sx(static_cast<std::size_t>(pr) * pc, -1);
     for (int r = 0; r < pr; ++r) {
       for (int c = 0; c < pc; ++c) {
         const sim::TaskId id = add(
-            proc(r, c), m.compute_seconds(w, 0.0, 0.0),
+            proc(r, c), m.compute_seconds(moved, 0.0, 0.0),
             "SX(" + std::to_string(k) + ")", k, kKindOther);
         sx[static_cast<std::size_t>(proc(r, c))] = id;
         // Pivot sequence + L multicast along processor row r gates the
@@ -153,17 +176,17 @@ struct Builder {
     std::vector<sim::TaskId> sw(static_cast<std::size_t>(pr) * pc, -1);
     for (int r = 0; r < pr; ++r) {
       for (int c = 0; c < pc; ++c) {
-        // Interchange traffic: w row pairs over this processor's share
-        // of the trailing columns, charged at BLAS-1 speed.
-        double cost = m.compute_seconds(w * ncols_total / pc, 0.0, 0.0);
+        // Interchange traffic: `moved` row pairs over this processor's
+        // share of the trailing columns, charged at BLAS-1 speed.
+        double cost = m.compute_seconds(moved * ncols_total / pc, 0.0, 0.0);
         if (pr > 1)
-          cost += w * m.latency * (pr - 1.0) / pr;
+          cost += moved * m.latency * (pr - 1.0) / pr;
         if (r == kr) cost += trsm_secs[c];
         const sim::TaskId id =
             add(proc(r, c), cost, "SW(" + std::to_string(k) + ")", k,
                 kKindOther);
         sw[static_cast<std::size_t>(proc(r, c))] = id;
-        if (pr > 1) {
+        if (pr > 1 && moved > 0.0) {
           if (r == kr) {
             // The pivot-row owner needs the swapped-in subrows back from
             // the rows owning the pivot targets. Which rows those are is
@@ -293,15 +316,34 @@ struct Builder {
 
 sim::ParallelProgram build_2d_program(const BlockLayout& layout,
                                       const sim::MachineModel& machine,
-                                      bool async, SStarNumeric* numeric) {
+                                      bool async, SStarNumeric* numeric,
+                                      const std::vector<int>* offdiag) {
   SSTAR_CHECK(machine.grid.size() == machine.processors);
-  Builder b(layout, machine, async, numeric);
+  if (offdiag) {
+    SSTAR_CHECK(static_cast<int>(offdiag->size()) == layout.num_blocks());
+    for (int k = 0; k < layout.num_blocks(); ++k)
+      SSTAR_CHECK((*offdiag)[static_cast<std::size_t>(k)] >= 0 &&
+                  (*offdiag)[static_cast<std::size_t>(k)] <= layout.width(k));
+  }
+  Builder b(layout, machine, async, numeric, offdiag);
   sim::ParallelProgram prog = b.build();
   // Message-passing execution (exec/lu_mp) interprets explicit send/recv
   // descriptors; on a grid the factor-panel multicast is row-grouped
   // (owner -> row leader -> row peers).
   sim::attach_panel_comms(prog, machine.grid);
   return prog;
+}
+
+std::vector<int> offdiag_interchanges_per_block(const BlockLayout& layout,
+                                                const SStarNumeric& numeric) {
+  const std::vector<int>& piv = numeric.pivot_of_col();
+  SSTAR_CHECK(static_cast<int>(piv.size()) == layout.n());
+  std::vector<int> counts(static_cast<std::size_t>(layout.num_blocks()), 0);
+  for (int k = 0; k < layout.num_blocks(); ++k)
+    for (int m = layout.start(k); m < layout.start(k) + layout.width(k); ++m)
+      if (piv[static_cast<std::size_t>(m)] != m)
+        ++counts[static_cast<std::size_t>(k)];
+  return counts;
 }
 
 ParallelRunResult run_2d(const BlockLayout& layout,

@@ -24,6 +24,8 @@
 // produces a verifiable factorization.
 #pragma once
 
+#include <vector>
+
 #include "core/numeric.hpp"
 #include "core/parallel_run.hpp"
 #include "exec/executor.hpp"
@@ -33,9 +35,31 @@
 namespace sstar {
 
 /// Build the 2D SPMD program (exposed for tests).
-sim::ParallelProgram build_2d_program(const BlockLayout& layout,
-                                      const sim::MachineModel& machine,
-                                      bool async, SStarNumeric* numeric);
+///
+/// `offdiag_interchanges`, when non-null, holds per block k the number
+/// of columns whose REALIZED pivot left the diagonal (see
+/// offdiag_interchanges_per_block). The builder then charges the
+/// pivot-dependent communication — FP(k)'s winner-subrow broadcast
+/// rounds and SW(k)'s delayed-interchange subrow exchange — per
+/// realized interchange instead of per column: a column that kept its
+/// diagonal moves no rows, so the owner already holds the pivot row and
+/// its column peers have nothing to exchange. Null preserves the
+/// historic worst-case charging (every column pays), which is exactly a
+/// count vector of width(k) per block. This is how the threshold-
+/// pivoting ablation (bench/bench_pivot) prices a PivotPolicy on the
+/// paper's machines: relaxed policies keep admissible diagonals in
+/// place, and the serialized pivot rounds §4.3 warns about shrink with
+/// the realized interchange count.
+sim::ParallelProgram build_2d_program(
+    const BlockLayout& layout, const sim::MachineModel& machine, bool async,
+    SStarNumeric* numeric,
+    const std::vector<int>* offdiag_interchanges = nullptr);
+
+/// Per-block realized off-diagonal interchange counts of a FACTORED
+/// numeric: entries m of block k with pivot_of_col()[m] != m. Input for
+/// build_2d_program's pivot-dependent communication charging.
+std::vector<int> offdiag_interchanges_per_block(const BlockLayout& layout,
+                                                const SStarNumeric& numeric);
 
 /// Simulate the 2D code and summarize.
 ParallelRunResult run_2d(const BlockLayout& layout,

@@ -19,15 +19,34 @@ SStarNumeric::SStarNumeric(const BlockLayout& layout,
   SSTAR_CHECK_MSG(store_ != nullptr && &store_->layout() == &layout,
                   "SStarNumeric: store must be built on the same layout");
   pivot_of_col_.assign(static_cast<std::size_t>(layout.n()), -1);
+  pivot_mag_.assign(static_cast<std::size_t>(layout.n()), 0.0);
+  pivot_colmax_.assign(static_cast<std::size_t>(layout.n()), 0.0);
   factored_.assign(static_cast<std::size_t>(layout.num_blocks()), 0);
 }
 
 void SStarNumeric::assemble(const SparseMatrix& a) {
   store_->assemble(a);
   std::fill(pivot_of_col_.begin(), pivot_of_col_.end(), -1);
+  std::fill(pivot_mag_.begin(), pivot_mag_.end(), 0.0);
+  std::fill(pivot_colmax_.begin(), pivot_colmax_.end(), 0.0);
   std::fill(factored_.begin(), factored_.end(), 0);
   stats_ = FactorStats{};
   stats_.input_max_abs = a.max_abs();
+}
+
+void SStarNumeric::set_pivot_policy(const PivotPolicy& policy) {
+  SSTAR_CHECK_MSG(policy.valid(), "pivot threshold " << policy.threshold
+                                                     << " outside (0, 1]");
+  policy_ = policy;
+}
+
+double SStarNumeric::pivot_ratio() const {
+  double ratio = 1.0;
+  for (std::size_t m = 0; m < pivot_mag_.size(); ++m) {
+    if (pivot_of_col_[m] < 0 || pivot_mag_[m] <= 0.0) continue;
+    ratio = std::max(ratio, pivot_colmax_[m] / pivot_mag_[m]);
+  }
+  return ratio;
 }
 
 double SStarNumeric::growth_factor() const {
@@ -66,6 +85,7 @@ void SStarNumeric::factor_block(int k) {
   const auto& prows = lay.panel_rows(k);
   blas::FlopRegion region;
   int off_diagonal_pivots = 0;
+  int relaxed_pivots = 0;
 
   for (int ml = 0; ml < w; ++ml) {
     double* cd = d + static_cast<std::ptrdiff_t>(ml) * w;
@@ -88,9 +108,27 @@ void SStarNumeric::factor_block(int k) {
                                     << base + ml);
 
     const int m = base + ml;
-    const int t = best_panel >= 0 ? prows[best_panel]
-                                  : base + best_diag;
+    int t = best_panel >= 0 ? prows[best_panel]
+                            : base + best_diag;
+    double chosen = best;
+    // Threshold pivoting (core/pivot.hpp): keep the DIAGONAL position
+    // when it is admissible — the column then needs no interchange here
+    // and every downstream ScaleSwap(k, j) skips it. Guarded by
+    // !exact() so threshold == 1.0 executes the historical instruction
+    // sequence bitwise (if the diagonal were >= the column max, idamax
+    // would already have chosen it and t == m above).
+    if (!policy_.exact() && t != m) {
+      const double diag_mag = std::fabs(cd[ml]);
+      if (diag_mag >= policy_.threshold * best) {
+        t = m;
+        best_panel = -1;
+        chosen = diag_mag;
+        ++relaxed_pivots;  // kept strictly below the column max
+      }
+    }
     pivot_of_col_[m] = t;
+    pivot_mag_[m] = chosen;
+    pivot_colmax_[m] = best;
     if (t != m) {
       ++off_diagonal_pivots;
       // Swap the FULL rows m and t inside column block k (LAPACK dgetf2
@@ -127,6 +165,7 @@ void SStarNumeric::factor_block(int k) {
   const std::lock_guard<std::mutex> lock(stats_mu_);
   stats_.flops += region.delta();
   stats_.off_diagonal_pivots += off_diagonal_pivots;
+  stats_.relaxed_pivots += relaxed_pivots;
 }
 
 void SStarNumeric::adopt_pivots(int k, const int* rows) {
@@ -150,6 +189,34 @@ void SStarNumeric::adopt_pivots(int k, const int* rows) {
     pivot_of_col_[static_cast<std::size_t>(base + i)] = r;
   }
   factored_[static_cast<std::size_t>(k)] = 1;
+}
+
+void SStarNumeric::adopt_pivot_monitor(int k, const double* magnitudes,
+                                       const double* colmaxes) {
+  const BlockLayout& lay = *layout_;
+  const int base = lay.start(k);
+  const int w = lay.width(k);
+  int relaxed = 0;
+  for (int i = 0; i < w; ++i) {
+    const double mag = magnitudes[i];
+    const double cm = colmaxes[i];
+    // The invariants every honest Factor(k) maintains: a positive chosen
+    // magnitude no larger than the column max it was measured against.
+    // (Finite-ness rides on the comparisons: NaN fails both.)
+    SSTAR_CHECK_MSG(mag > 0.0 && cm >= mag,
+                    "adopt_pivot_monitor(" << k << "): column " << base + i
+                                           << " claims |pivot| = " << mag
+                                           << ", colmax = " << cm);
+    pivot_mag_[static_cast<std::size_t>(base + i)] = mag;
+    pivot_colmax_[static_cast<std::size_t>(base + i)] = cm;
+    // factor_block's relaxed branch only ever keeps a pivot STRICTLY
+    // below the column max (idamax resolves ties toward the diagonal),
+    // so magnitude < colmax reproduces its relaxed_pivots count exactly
+    // — the adopting side's stats agree with the factoring side's.
+    if (mag < cm) ++relaxed;
+  }
+  const std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.relaxed_pivots += relaxed;
 }
 
 // A row's stored cells within one column block: cells[i] sits at

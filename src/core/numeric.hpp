@@ -9,8 +9,12 @@
 // execution produces bitwise-identical factors to factorize().
 // Task kinds:
 //   Factor(k)      — factor diagonal block + L panel of supernode k with
-//                    partial pivoting confined to the panel (the static
+//                    pivoting confined to the panel (the static
 //                    structure guarantees all candidate rows live there);
+//                    the PivotPolicy (core/pivot.hpp) selects WITHIN that
+//                    set — exact partial pivoting by default, threshold
+//                    pivoting when relaxed — so Theorem 1's confinement
+//                    holds for every policy;
 //   ScaleSwap(k,j) — delayed pivoting: apply block k's pivot sequence to
 //                    column block j;
 //   Update(k,j)    — U_kj = L_kk^{-1} U_kj (DTRSM), then
@@ -30,6 +34,7 @@
 #include "blas/flops.hpp"
 #include "core/block_matrix.hpp"
 #include "core/block_store.hpp"
+#include "core/pivot.hpp"
 
 namespace sstar {
 
@@ -37,6 +42,8 @@ namespace sstar {
 struct FactorStats {
   blas::FlopCount flops;       ///< exact flops by BLAS level
   int off_diagonal_pivots = 0; ///< pivot row != current row count
+  int relaxed_pivots = 0;      ///< columns where the threshold policy kept
+                               ///< a pivot below the column max
   double input_max_abs = 0.0;  ///< max |a_ij| of the assembled matrix
   double blas3_fraction() const {
     const auto t = flops.total();
@@ -59,6 +66,14 @@ class SStarNumeric {
 
   /// Load A's values (A must match the layout's static structure).
   void assemble(const SparseMatrix& a);
+
+  /// Pivot-selection policy for factor_block. Must be set before any
+  /// Factor(k) runs; the default (threshold = 1.0) is exact partial
+  /// pivoting, bitwise-identical to the historical kernel. In the
+  /// message-passing runtime every rank replica inherits the result
+  /// numeric's policy (exec/lu_mp), so one knob governs all executors.
+  void set_pivot_policy(const PivotPolicy& policy);
+  const PivotPolicy& pivot_policy() const { return policy_; }
 
   // --- task kernels ------------------------------------------------------
   void factor_block(int k);
@@ -115,6 +130,26 @@ class SStarNumeric {
   /// result of a distributed run regains a complete pivot vector.
   void adopt_pivots(int k, const int* rows);
 
+  /// Install block k's pivot monitor data (per column: chosen pivot
+  /// magnitude and the column max it was measured against) alongside
+  /// adopt_pivots — the stability-monitor companion of the pivot
+  /// sequence, carried on the Factor(k) wire payload (comm/serialize).
+  void adopt_pivot_monitor(int k, const double* magnitudes,
+                           const double* colmaxes);
+
+  /// Per column: |chosen pivot| at selection time (NaN-free, > 0) and
+  /// the column max over the full candidate set it was measured
+  /// against. Under exact partial pivoting the two are equal; under a
+  /// threshold policy magnitude >= threshold * colmax holds for every
+  /// column (the property test's invariant).
+  const std::vector<double>& pivot_magnitudes() const { return pivot_mag_; }
+  const std::vector<double>& pivot_colmaxes() const { return pivot_colmax_; }
+
+  /// max over factored columns of colmax / |chosen pivot| — 1.0 under
+  /// exact partial pivoting, <= 1/threshold under a threshold policy.
+  /// The per-step relaxation factor entering the growth bound.
+  double pivot_ratio() const;
+
   const FactorStats& stats() const { return stats_; }
 
   /// Element-growth factor max_ij |u_ij| / max_ij |a_ij| after
@@ -138,7 +173,10 @@ class SStarNumeric {
 
   const BlockLayout* layout_;
   std::unique_ptr<BlockStore> store_;
+  PivotPolicy policy_;
   std::vector<int> pivot_of_col_;
+  std::vector<double> pivot_mag_;     // per column: |chosen pivot|
+  std::vector<double> pivot_colmax_;  // per column: candidate-set max
   FactorStats stats_;
   std::mutex stats_mu_;             // kernels may run on exec:: workers
   std::vector<int> factored_;       // per-block: factor_block done (checks)

@@ -1,0 +1,18 @@
+#include "core/pivot.hpp"
+
+#include <cstdio>
+
+namespace sstar {
+
+std::string PivotPolicy::describe() const {
+  char buf[64];
+  if (exact()) {
+    std::snprintf(buf, sizeof buf, "partial pivoting (alpha = 1)");
+  } else {
+    std::snprintf(buf, sizeof buf, "threshold pivoting (alpha = %g)",
+                  threshold);
+  }
+  return buf;
+}
+
+}  // namespace sstar

@@ -1,0 +1,52 @@
+// Runtime pivot-selection policy for the Factor(k) kernels.
+//
+// Classic partial pivoting (threshold = 1.0) takes the largest-magnitude
+// candidate of every column — maximally stable, but each Factor(k)
+// serializes behind the full pivot search and the resulting row
+// interchanges ripple through every ScaleSwap(k, j) on the critical
+// path. THRESHOLD pivoting (Hogg & Scott, arXiv 1305.2353) relaxes the
+// rule: any structurally admissible candidate with
+//
+//   |a| >= threshold * colmax
+//
+// may be chosen, and this implementation prefers the DIAGONAL position
+// whenever it is admissible, so the column needs no interchange at all —
+// Factor(k) skips the row swap and every downstream ScaleSwap(k, j)
+// becomes a no-op for that column. The candidate set itself is
+// unchanged (the diagonal block's remaining rows plus the L panel —
+// Theorem 1's confinement), so the static structure, the task DAG, the
+// access sets of the dependence auditor, and the message plans are all
+// untouched; only the chosen row within the panel differs.
+//
+// Stability is monitored, not assumed: every Factor records the chosen
+// pivot magnitude and the column max it was measured against
+// (SStarNumeric::pivot_magnitudes / pivot_colmaxes), element growth is
+// checked after factorization, and solve/stability.hpp wraps the solve
+// in a backward-error gate with an iterative-refinement safety net that
+// tightens the threshold and refactors when the relaxation went too far.
+//
+// threshold == 1.0 reproduces today's exact partial pivoting BITWISE:
+// the relaxed branch is guarded by `!exact()`, so the instruction
+// sequence of the pivot search is identical to the historical kernel
+// (tests/test_pivot.cpp enforces this across every executor).
+#pragma once
+
+#include <string>
+
+namespace sstar {
+
+/// How Factor(k) chooses each column's pivot row.
+struct PivotPolicy {
+  /// Relative threshold alpha in (0, 1]: a candidate is admissible iff
+  /// |a| >= threshold * colmax. 1.0 = exact partial pivoting.
+  double threshold = 1.0;
+
+  bool valid() const { return threshold > 0.0 && threshold <= 1.0; }
+  /// Exact partial pivoting — the bitwise-historical path.
+  bool exact() const { return threshold == 1.0; }
+
+  /// "partial pivoting (alpha = 1)" / "threshold pivoting (alpha = 0.1)".
+  std::string describe() const;
+};
+
+}  // namespace sstar

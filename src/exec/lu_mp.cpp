@@ -155,6 +155,11 @@ MpStats execute_program_mp(const sim::ParallelProgram& prog,
     if (opt.store_hook) opt.store_hook(r, *store);
     replicas.push_back(
         std::make_unique<SStarNumeric>(lay, std::move(store)));
+    // Every rank factors under the caller's pivot policy: one knob
+    // (result's PivotPolicy) governs the whole SPMD run, so a
+    // threshold-pivoted distributed factorization stays bitwise
+    // identical to the sequential one under the same policy.
+    replicas.back()->set_pivot_policy(result.pivot_policy());
   }
 
   std::mutex err_mu;
@@ -203,6 +208,9 @@ MpStats execute_program_mp(const sim::ParallelProgram& prog,
     std::memcpy(out.l_panel(k), src.data().l_panel(k),
                 static_cast<std::size_t>(out.l_ld(k)) * w * sizeof(double));
     result.adopt_pivots(k, src.pivot_of_col().data() + lay.start(k));
+    result.adopt_pivot_monitor(k,
+                               src.pivot_magnitudes().data() + lay.start(k),
+                               src.pivot_colmaxes().data() + lay.start(k));
     for (const BlockRef& ref : lay.u_blocks(k)) {
       const SStarNumeric& col_owner = *replicas[static_cast<std::size_t>(
           owner[static_cast<std::size_t>(ref.block)])];

@@ -8,13 +8,12 @@
 
 namespace sstar {
 
-namespace {
-
 // Component-wise backward error max_i |r_i| / (|A||x| + |b|)_i (Oettli–
 // Prager), the standard refinement stopping criterion.
-double backward_error(const SparseMatrix& a, const std::vector<double>& x,
-                      const std::vector<double>& b,
-                      const std::vector<double>& r) {
+double componentwise_backward_error(const SparseMatrix& a,
+                                    const std::vector<double>& x,
+                                    const std::vector<double>& b,
+                                    const std::vector<double>& r) {
   std::vector<double> denom(b.size());
   for (std::size_t i = 0; i < b.size(); ++i) denom[i] = std::fabs(b[i]);
   for (int j = 0; j < a.cols(); ++j) {
@@ -32,6 +31,8 @@ double backward_error(const SparseMatrix& a, const std::vector<double>& x,
   }
   return e;
 }
+
+namespace {
 
 // Pointer-based variant for one panel column, arithmetic in the exact
 // vector-path order so the two entry points agree bitwise.
@@ -89,7 +90,7 @@ RefineResult refined_solve(const Solver& solver, const SparseMatrix& a,
        ++out.iterations) {
     a.multiply(out.x, ax);
     for (std::size_t i = 0; i < b.size(); ++i) r[i] = b[i] - ax[i];
-    out.backward_error = backward_error(a, out.x, b, r);
+    out.backward_error = componentwise_backward_error(a, out.x, b, r);
     if (out.backward_error <= opt.tolerance) {
       out.converged = true;
       return out;

@@ -122,10 +122,19 @@ SolverSetup prepare(const SparseMatrix& a, const SolverOptions& opt) {
 
 Solver::Solver(const SparseMatrix& a, SolverOptions opt)
     : opt_(opt), setup_(prepare(a, opt)), numeric_(*setup_.layout) {
+  numeric_.set_pivot_policy(opt.pivot);
   numeric_.assemble(setup_.permuted);
 }
 
 void Solver::factorize() {
+  numeric_.factorize();
+  factorized_ = true;
+}
+
+void Solver::refactorize(const PivotPolicy& policy) {
+  opt_.pivot = policy;
+  numeric_.set_pivot_policy(policy);
+  numeric_.assemble(setup_.permuted);  // re-load values, reset pivots
   numeric_.factorize();
   factorized_ = true;
 }

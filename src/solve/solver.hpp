@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/numeric.hpp"
+#include "core/pivot.hpp"
 #include "matrix/sparse.hpp"
 #include "supernode/block_layout.hpp"
 
@@ -42,6 +43,12 @@ struct SolverOptions {
   /// max-magnitude, then columns likewise, before pivoting. Improves
   /// pivot choices on badly scaled systems; solves transparently undo it.
   bool equilibrate = false;
+  /// Pivot-selection policy for the numeric phase (core/pivot.hpp).
+  /// The default (threshold = 1.0) is exact partial pivoting; a relaxed
+  /// threshold shortens the Factor/ScaleSwap critical path at a
+  /// monitored stability cost — pair with solve/stability.hpp's
+  /// backward-error gate when relaxing.
+  PivotPolicy pivot;
 };
 
 /// Everything the symbolic phase produces (shared by the sequential and
@@ -72,6 +79,14 @@ class Solver {
   /// Numeric factorization (sequential S*).
   void factorize();
   bool factorized() const { return factorized_; }
+
+  /// Re-run the numeric phase under a different pivot policy: re-load
+  /// A's values into the factor storage and factorize again. The
+  /// symbolic setup (ordering, structure, layout) is reused — only the
+  /// numeric work repeats. This is the stability safety net's
+  /// escalation step (solve/stability.hpp): tighten the threshold and
+  /// refactor when the backward-error gate or growth bound is breached.
+  void refactorize(const PivotPolicy& policy);
 
   /// Solve A x = b in the ORIGINAL row/column numbering.
   std::vector<double> solve(const std::vector<double>& b) const;

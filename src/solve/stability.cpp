@@ -1,0 +1,86 @@
+#include "solve/stability.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "solve/refine.hpp"
+#include "util/check.hpp"
+
+namespace sstar {
+
+std::string StabilityReport::describe() const {
+  char buf[256];
+  const StabilityAttempt& fin = attempts.back();
+  std::snprintf(buf, sizeof(buf),
+                "alpha %g -> %g (%d refactor%s), growth %.3g, "
+                "backward error %.3g after %d refinement step%s: %s",
+                alpha_requested, alpha_used, refactorizations,
+                refactorizations == 1 ? "" : "s", fin.growth_factor,
+                fin.backward_error, fin.refine_steps_used,
+                fin.refine_steps_used == 1 ? "" : "s",
+                gate_passed ? "PASS" : "FAIL");
+  return std::string(buf);
+}
+
+StabilityReport guarded_solve(Solver& solver, const SparseMatrix& a,
+                              const std::vector<double>& b,
+                              const StabilityGate& gate) {
+  SSTAR_CHECK_MSG(solver.factorized(), "guarded_solve before factorize()");
+  SSTAR_CHECK(gate.residual_gate > 0.0);
+  SSTAR_CHECK(gate.growth_gate > 0.0);
+  SSTAR_CHECK(gate.refine_steps >= 0);
+  SSTAR_CHECK(gate.tighten_factor > 1.0);
+  SSTAR_CHECK(gate.max_refactor >= 0);
+
+  StabilityReport report;
+  report.alpha_requested = solver.options().pivot.threshold;
+
+  for (;;) {
+    StabilityAttempt at;
+    at.alpha = solver.options().pivot.threshold;
+    at.growth_factor = solver.numeric().growth_factor();
+    at.pivot_ratio = solver.numeric().pivot_ratio();
+    at.relaxed_pivots = solver.stats().relaxed_pivots;
+    at.growth_gate_passed = at.growth_factor <= gate.growth_gate;
+
+    // A factor breaching the growth ceiling is suspect regardless of
+    // this particular right-hand side; skip straight to escalation
+    // (unless already at exact partial pivoting, where growth is what
+    // GEPP gives us and the residual gate has the final word).
+    const bool must_escalate_on_growth =
+        !at.growth_gate_passed && at.alpha < 1.0;
+    if (!must_escalate_on_growth) {
+      RefineOptions ro;
+      ro.max_iterations = gate.refine_steps;
+      ro.tolerance = gate.residual_gate;
+      const RefineResult rr = refined_solve(solver, a, b, ro);
+      at.backward_error = rr.backward_error;
+      at.refine_steps_used = rr.iterations;
+      at.residual_gate_passed = rr.backward_error <= gate.residual_gate;
+      report.x = rr.x;
+    }
+    report.attempts.push_back(at);
+    report.alpha_used = at.alpha;
+
+    if (at.residual_gate_passed &&
+        (at.growth_gate_passed || at.alpha >= 1.0)) {
+      // At alpha = 1.0 a growth-gate breach is inherent to the matrix,
+      // not the relaxation; the residual gate decides.
+      report.gate_passed = at.residual_gate_passed && at.growth_gate_passed;
+      if (at.alpha >= 1.0) report.gate_passed = at.residual_gate_passed;
+      return report;
+    }
+
+    // Escalate: tighten toward exact partial pivoting and refactor.
+    if (at.alpha >= 1.0 || report.refactorizations >= gate.max_refactor) {
+      report.gate_passed = false;
+      return report;
+    }
+    PivotPolicy next;
+    next.threshold = std::min(1.0, at.alpha * gate.tighten_factor);
+    solver.refactorize(next);
+    ++report.refactorizations;
+  }
+}
+
+}  // namespace sstar

@@ -1,0 +1,265 @@
+// Backward-error safety net (solve/stability.hpp) — the guarded-solve
+// escalation ladder that makes threshold pivoting self-correcting
+// (ISSUE 9, satellite 3).
+//
+// The contract under test: guarded_solve() accepts a healthy factor
+// immediately, repairs a marginal one with iterative refinement, and on
+// a genuinely unstable relaxed factor tightens alpha and refactorizes
+// until the gates pass — terminating at alpha = 1.0 (exact partial
+// pivoting), where GEPP backward stability takes over.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "exec/lu_real.hpp"
+#include "matrix/generators.hpp"
+#include "ordering/transversal.hpp"
+#include "solve/refine.hpp"
+#include "solve/solver.hpp"
+#include "solve/stability.hpp"
+#include "test_helpers.hpp"
+#include "util/check.hpp"
+
+namespace sstar {
+namespace {
+
+SolverOptions options_with_alpha(double alpha) {
+  SolverOptions opt;
+  opt.pivot.threshold = alpha;
+  return opt;
+}
+
+/// Many weak diagonals (5% of their column max): at alpha <= 0.05 the
+/// relaxed branch keeps them, multipliers reach 1/alpha, and element
+/// growth compounds — the adversarial regime the safety net exists for.
+SparseMatrix pathological_matrix(std::uint64_t seed) {
+  gen::ValueOptions vo;
+  vo.seed = seed;
+  vo.weak_diag_fraction = 0.9;
+  vo.weak_diag_scale = 0.05;
+  return gen::stencil5(20, 20, 0.1, vo);
+}
+
+// ----------------------------------------------------------------------
+// Oettli–Prager backward error: the measurement the gates trust.
+
+TEST(PivotStability, BackwardErrorOfExactSolveIsWorkingPrecision) {
+  const std::uint64_t seed = testing::test_seed(201);
+  const SparseMatrix a =
+      make_zero_free_diagonal(testing::random_sparse(60, 4, seed));
+  Solver solver(a);
+  solver.factorize();
+  const auto b = testing::random_vector(60, seed + 1);
+  const auto x = solver.solve(b);
+  std::vector<double> r = a.multiply(x);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+  const double err = componentwise_backward_error(a, x, b, r);
+  EXPECT_GT(err, 0.0);
+  EXPECT_LT(err, 1e-12);
+
+  // Perturbing the solution must be visible in the error, and the
+  // measure must be scale-calibrated: x = 0 gives error exactly 1
+  // (r = b, denominator |A||0| + |b| = |b|).
+  auto xp = x;
+  xp[7] += 1e-3 * (std::fabs(xp[7]) + 1.0);
+  std::vector<double> rp = a.multiply(xp);
+  for (std::size_t i = 0; i < rp.size(); ++i) rp[i] = b[i] - rp[i];
+  EXPECT_GT(componentwise_backward_error(a, xp, b, rp), 1e3 * err);
+  const std::vector<double> zero(60, 0.0);
+  EXPECT_DOUBLE_EQ(componentwise_backward_error(a, zero, b, b), 1.0);
+}
+
+// ----------------------------------------------------------------------
+// The happy paths: no escalation when none is needed.
+
+TEST(PivotStability, ExactPolicyPassesWithoutEscalation) {
+  const std::uint64_t seed = testing::test_seed(202);
+  const SparseMatrix a =
+      make_zero_free_diagonal(testing::random_sparse(80, 4, seed));
+  Solver solver(a, options_with_alpha(1.0));
+  solver.factorize();
+  const auto b = testing::random_vector(80, seed + 1);
+  const StabilityReport rep = guarded_solve(solver, a, b);
+  EXPECT_TRUE(rep.gate_passed) << rep.describe();
+  EXPECT_EQ(rep.refactorizations, 0);
+  EXPECT_EQ(rep.attempts.size(), 1u);
+  EXPECT_EQ(rep.alpha_requested, 1.0);
+  EXPECT_EQ(rep.alpha_used, 1.0);
+  EXPECT_EQ(rep.final_attempt().relaxed_pivots, 0);
+  EXPECT_LE(rep.final_attempt().backward_error, 1e-12);
+  EXPECT_LE(testing::solve_residual(a, rep.x, b), 1e-10);
+}
+
+TEST(PivotStability, RelaxedPolicyOnBenignMatrixNeedsNoRefactor) {
+  const std::uint64_t seed = testing::test_seed(203);
+  const SparseMatrix a =
+      make_zero_free_diagonal(testing::random_sparse(80, 4, seed, 0.4));
+  Solver solver(a, options_with_alpha(0.1));
+  solver.factorize();
+  const auto b = testing::random_vector(80, seed + 1);
+  StabilityGate gate;
+  gate.refine_steps = 2;
+  const StabilityReport rep = guarded_solve(solver, a, b, gate);
+  EXPECT_TRUE(rep.gate_passed) << rep.describe();
+  EXPECT_EQ(rep.refactorizations, 0);
+  EXPECT_EQ(rep.alpha_used, 0.1);
+  EXPECT_LE(rep.final_attempt().refine_steps_used, 2);
+  EXPECT_LE(rep.final_attempt().backward_error, gate.residual_gate);
+  EXPECT_LE(rep.final_attempt().pivot_ratio, 10.0 + 1e-9);
+}
+
+// ----------------------------------------------------------------------
+// Escalation (the point of the subsystem): a relaxed factor whose
+// element growth breaches the ceiling is abandoned WITHOUT trusting a
+// possibly-lucky solve, alpha tightens, and the refactorized chain ends
+// in a factor that meets both gates.
+
+TEST(PivotStability, GrowthGateBreachEscalatesUntilGatesPass) {
+  const std::uint64_t seed = testing::test_seed(204);
+  const SparseMatrix a = pathological_matrix(seed);
+
+  // Calibrate the ceiling from the matrix itself so the test is
+  // deterministic: strictly between the exact-pivoting growth and the
+  // relaxed growth, so alpha = 0.01 MUST escalate and alpha = 1.0 MUST
+  // pass the growth gate.
+  Solver exact(a, options_with_alpha(1.0));
+  exact.factorize();
+  const double g_exact = exact.numeric().growth_factor();
+  Solver relaxed(a, options_with_alpha(0.01));
+  relaxed.factorize();
+  const double g_relaxed = relaxed.numeric().growth_factor();
+  ASSERT_GT(relaxed.stats().relaxed_pivots, 0);
+  ASSERT_GT(g_relaxed, 2.0 * g_exact)
+      << "pathological fixture did not produce growth; retune";
+  const double ceiling = std::sqrt(g_exact * g_relaxed);
+
+  StabilityGate gate;
+  gate.growth_gate = ceiling;
+  gate.refine_steps = 2;
+  const auto b = testing::random_vector(a.rows(), seed + 1);
+  const StabilityReport rep = guarded_solve(relaxed, a, b, gate);
+
+  EXPECT_TRUE(rep.gate_passed) << rep.describe();
+  EXPECT_GE(rep.refactorizations, 1);
+  EXPECT_EQ(rep.attempts.size(),
+            static_cast<std::size_t>(rep.refactorizations) + 1);
+  EXPECT_EQ(rep.alpha_requested, 0.01);
+  EXPECT_GT(rep.alpha_used, rep.alpha_requested);
+  // The first attempt was condemned on growth alone — no solve ran.
+  EXPECT_FALSE(rep.attempts.front().growth_gate_passed);
+  EXPECT_EQ(rep.attempts.front().refine_steps_used, 0);
+  // Alphas tighten monotonically by the configured factor.
+  for (std::size_t i = 1; i < rep.attempts.size(); ++i)
+    EXPECT_DOUBLE_EQ(
+        rep.attempts[i].alpha,
+        std::min(1.0, rep.attempts[i - 1].alpha * gate.tighten_factor));
+  const StabilityAttempt& fin = rep.final_attempt();
+  EXPECT_TRUE(fin.growth_gate_passed);
+  EXPECT_LE(fin.backward_error, gate.residual_gate);
+  EXPECT_LE(fin.refine_steps_used, 2);
+  // The solver was left in its escalated state.
+  EXPECT_EQ(relaxed.options().pivot.threshold, rep.alpha_used);
+  EXPECT_LE(testing::solve_residual(a, rep.x, b), 1e-8);
+}
+
+TEST(PivotStability, EscalationTerminatesAtExactPivoting) {
+  const std::uint64_t seed = testing::test_seed(205);
+  const SparseMatrix a = pathological_matrix(seed);
+  Solver solver(a, options_with_alpha(0.01));
+  solver.factorize();
+  StabilityGate gate;
+  gate.growth_gate = 1e-30;  // unmeetable: growth_factor >= 1 always
+  gate.refine_steps = 1;
+  const auto b = testing::random_vector(a.rows(), seed + 1);
+  const StabilityReport rep = guarded_solve(solver, a, b, gate);
+  // The ladder climbs 0.01 -> 0.1 -> 1.0 and stops: at exact partial
+  // pivoting the residual gate has the final word, so the SOLUTION is
+  // still good even though the unmeetable growth gate marks the report.
+  EXPECT_EQ(rep.alpha_used, 1.0);
+  EXPECT_EQ(rep.refactorizations, 2);
+  EXPECT_EQ(rep.attempts.size(), 3u);
+  EXPECT_TRUE(rep.final_attempt().residual_gate_passed) << rep.describe();
+  EXPECT_TRUE(rep.gate_passed) << "at alpha=1.0 residual decides";
+  EXPECT_LE(testing::solve_residual(a, rep.x, b), 1e-8);
+}
+
+TEST(PivotStability, RefactorBudgetBoundsTheLadder) {
+  const std::uint64_t seed = testing::test_seed(206);
+  const SparseMatrix a = pathological_matrix(seed);
+  Solver solver(a, options_with_alpha(1e-4));
+  solver.factorize();
+  StabilityGate gate;
+  gate.growth_gate = 1e-30;
+  gate.tighten_factor = 2.0;  // needs ~14 doublings to reach 1.0
+  gate.max_refactor = 3;
+  const auto b = testing::random_vector(a.rows(), seed + 1);
+  const StabilityReport rep = guarded_solve(solver, a, b, gate);
+  EXPECT_FALSE(rep.gate_passed);
+  EXPECT_EQ(rep.refactorizations, 3);
+  EXPECT_EQ(rep.attempts.size(), 4u);
+  EXPECT_LT(rep.alpha_used, 1.0);
+}
+
+// ----------------------------------------------------------------------
+// Plumbing.
+
+TEST(PivotStability, GateParameterValidation) {
+  const std::uint64_t seed = testing::test_seed(207);
+  const SparseMatrix a =
+      make_zero_free_diagonal(testing::random_sparse(40, 3, seed));
+  Solver solver(a);
+  const auto b = testing::random_vector(40, seed + 1);
+  EXPECT_THROW(guarded_solve(solver, a, b), CheckError)
+      << "guarded_solve before factorize() must be rejected";
+  solver.factorize();
+  StabilityGate bad;
+  bad.residual_gate = 0.0;
+  EXPECT_THROW(guarded_solve(solver, a, b, bad), CheckError);
+  bad = StabilityGate{};
+  bad.growth_gate = -1.0;
+  EXPECT_THROW(guarded_solve(solver, a, b, bad), CheckError);
+  bad = StabilityGate{};
+  bad.tighten_factor = 1.0;  // would never make progress
+  EXPECT_THROW(guarded_solve(solver, a, b, bad), CheckError);
+  bad = StabilityGate{};
+  bad.refine_steps = -1;
+  EXPECT_THROW(guarded_solve(solver, a, b, bad), CheckError);
+}
+
+TEST(PivotStability, RefactorizeMatchesFreshSolverBitwise) {
+  const std::uint64_t seed = testing::test_seed(208);
+  const SparseMatrix a = pathological_matrix(seed);
+  // Escalation path: built at 0.01, refactorized to 0.1.
+  Solver escalated(a, options_with_alpha(0.01));
+  escalated.factorize();
+  PivotPolicy tightened;
+  tightened.threshold = 0.1;
+  escalated.refactorize(tightened);
+  // Reference: a solver BORN at 0.1.
+  Solver fresh(a, options_with_alpha(0.1));
+  fresh.factorize();
+  EXPECT_TRUE(
+      exec::factors_bitwise_equal(escalated.numeric(), fresh.numeric()));
+  EXPECT_EQ(escalated.options().pivot.threshold, 0.1);
+  EXPECT_EQ(escalated.stats().relaxed_pivots, fresh.stats().relaxed_pivots);
+  const auto b = testing::random_vector(a.rows(), seed + 1);
+  EXPECT_EQ(escalated.solve(b), fresh.solve(b));
+}
+
+TEST(PivotStability, DescribeNamesTheTrajectory) {
+  const std::uint64_t seed = testing::test_seed(209);
+  const SparseMatrix a =
+      make_zero_free_diagonal(testing::random_sparse(50, 3, seed));
+  Solver solver(a, options_with_alpha(0.5));
+  solver.factorize();
+  const auto b = testing::random_vector(50, seed + 1);
+  const StabilityReport rep = guarded_solve(solver, a, b);
+  const std::string d = rep.describe();
+  EXPECT_NE(d.find("alpha 0.5"), std::string::npos) << d;
+  EXPECT_NE(d.find(rep.gate_passed ? "PASS" : "FAIL"), std::string::npos) << d;
+}
+
+}  // namespace
+}  // namespace sstar

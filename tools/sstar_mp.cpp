@@ -31,6 +31,10 @@
 //        --max-block=N --amalg=N as in sstar_solve_cli;
 //        --ranks=P, --mapping=1d|2d, --schedule=ca|graph (1D),
 //        --sync (2D barrier variant), --shape=RxC (2D grid shape),
+//        --alpha=A (threshold-pivoting policy, (0,1]; 1.0 = exact
+//        partial pivoting — both the distributed run AND the sequential
+//        reference factor under the same policy, so the bitwise check
+//        certifies the policy-parameterized kernels),
 //        --watchdog=SECONDS, --audit, --memory,
 //        --trace=PATH (write a Chrome trace_event JSON of the MP run;
 //        analyze it with sstar_trace --load=PATH)
@@ -129,6 +133,12 @@ int main(int argc, char** argv) {
       }
       shape.rows = std::atoi(v.substr(0, x).c_str());
       shape.cols = std::atoi(v.substr(x + 1).c_str());
+    } else if (arg.rfind("--alpha=", 0) == 0) {
+      opt.pivot.threshold = std::atof(arg.c_str() + 8);
+      if (!opt.pivot.valid()) {
+        std::fprintf(stderr, "--alpha must be in (0, 1]\n");
+        return 2;
+      }
     } else if (arg.rfind("--watchdog=", 0) == 0) {
       watchdog = std::atof(arg.c_str() + 11);
     } else if (arg == "--audit") {
@@ -191,6 +201,7 @@ int main(int argc, char** argv) {
     SolverSetup setup = prepare(a, opt);
     const BlockLayout& layout = *setup.layout;
     std::printf("layout: %d column blocks\n", layout.num_blocks());
+    std::printf("pivot policy: %s\n", opt.pivot.describe().c_str());
 
     sim::MachineModel m = sim::MachineModel::cray_t3e(ranks);
     if (shape.rows > 0) {
@@ -245,6 +256,7 @@ int main(int argc, char** argv) {
     trace::TraceCollector collector;
     collector.install();
     SStarNumeric mp(layout);
+    mp.set_pivot_policy(opt.pivot);  // every rank replica inherits this
     const exec::MpStats st =
         exec::execute_program_mp(prog, setup.permuted, mp, mpopt);
     collector.uninstall();
@@ -276,14 +288,21 @@ int main(int argc, char** argv) {
 
     int failures = 0;
 
-    // Differential verification against the sequential factorization.
+    // Differential verification against the sequential factorization —
+    // under the SAME pivot policy, so a relaxed threshold run is checked
+    // against its own sequential counterpart.
     SStarNumeric ref(layout);
+    ref.set_pivot_policy(opt.pivot);
     ref.assemble(setup.permuted);
     ref.factorize();
     const bool bitwise = exec::factors_bitwise_equal(ref, mp);
     std::printf("\nbitwise vs sequential:       %s\n",
                 bitwise ? "IDENTICAL" : "MISMATCH");
     failures += bitwise ? 0 : 1;
+    std::printf("growth factor:               %.3e\n", mp.growth_factor());
+    std::printf("pivot ratio (max cmax/|p|):  %.3g\n", mp.pivot_ratio());
+    std::printf("relaxed pivots:              %d of %d columns\n",
+                mp.stats().relaxed_pivots, layout.n());
 
     // Leak detector: after a finished program every received panel must
     // have been released by its last consuming Update.

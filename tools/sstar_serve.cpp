@@ -20,6 +20,10 @@
 // Flags: --suite=NAME --scale=S --grid=N --seed=S --max-block=N
 //        --amalg=N --threads=a,b,c (default 1,2,4,8)
 //        --widths=a,b,c (default 1,3,8,32) --verbose
+//        --alpha=A (threshold-pivoting policy in (0,1] for the served
+//        factorization; the summary line reports the active policy,
+//        growth factor and relaxed-pivot count so operators can see the
+//        stability cost of a relaxed factor they are serving from)
 #include <algorithm>
 #include <bit>
 #include <cstdint>
@@ -147,6 +151,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   int max_block = 25;
   int amalg = 4;
+  double alpha = 1.0;
   std::vector<int> threads = {1, 2, 4, 8};
   std::vector<int> widths = {1, 3, 8, 32};
   bool do_verify = false, do_audit = false, do_self_test = false;
@@ -163,6 +168,7 @@ int main(int argc, char** argv) {
     else if (arg.rfind("--seed=", 0) == 0) seed = std::strtoull(val("--seed=").c_str(), nullptr, 10);
     else if (arg.rfind("--max-block=", 0) == 0) max_block = std::atoi(val("--max-block=").c_str());
     else if (arg.rfind("--amalg=", 0) == 0) amalg = std::atoi(val("--amalg=").c_str());
+    else if (arg.rfind("--alpha=", 0) == 0) alpha = std::atof(val("--alpha=").c_str());
     else if (arg.rfind("--threads=", 0) == 0) threads = parse_int_list(val("--threads="));
     else if (arg.rfind("--widths=", 0) == 0) widths = parse_int_list(val("--widths="));
     else if (arg == "--verify") do_verify = true;
@@ -187,6 +193,11 @@ int main(int argc, char** argv) {
   SolverOptions opt;
   opt.max_block = max_block;
   opt.amalgamation = amalg;
+  opt.pivot.threshold = alpha;
+  if (!opt.pivot.valid()) {
+    std::fprintf(stderr, "--alpha must be in (0, 1]\n");
+    return 2;
+  }
   const auto factor = serve::Factorization::create(a, opt);
   const SolveGraph& graph = factor->graph();
   std::printf(
@@ -194,6 +205,10 @@ int main(int argc, char** argv) {
       "avg parallelism %.2f\n",
       factor->n(), graph.num_blocks(), graph.num_tasks(),
       graph.edges().size(), graph.num_levels(), graph.average_parallelism());
+  std::printf("pivot policy: %s  growth %.3e  relaxed pivots %d\n",
+              opt.pivot.describe().c_str(),
+              factor->solver().numeric().growth_factor(),
+              factor->solver().stats().relaxed_pivots);
 
   int rc = 0;
   if (do_audit) {
