@@ -18,9 +18,16 @@
 // the same refcount protocol the store runs).
 //
 // Besides the text table, results go to machine-readable JSON (default
-// results/bench_mp.json, override with --json=PATH).
+// results/bench_mp.json, override with --json=PATH); the JSON carries
+// the resolved machine model (name, topology, rank placement) and the
+// transport under which the runs executed, so a results file is
+// self-describing.
 //
 // Flags: the common set; --threads=1,2,4 doubles as the RANK counts;
+// --machine=PRESET|FILE.json picks the machine the programs are built
+// and priced against ("t3d", "t3e", "hier4x8", or a DESIGN.md §16 JSON
+// spec); --transport=inproc|proc realizes ranks as threads or as real
+// OS processes over the shared-memory transport (Linux only);
 // --trace=PATH writes one Chrome trace_event JSON per MP run (tagged
 // matrix.program.rN before the extension).
 #include <cstdio>
@@ -36,6 +43,7 @@
 #include "exec/lu_mp.hpp"
 #include "exec/lu_real.hpp"
 #include "sched/list_schedule.hpp"
+#include "sim/machine_spec.hpp"
 #include "sim/memory_model.hpp"
 #include "trace/trace.hpp"
 #include "util/table.hpp"
@@ -73,7 +81,9 @@ std::string json_array(const std::vector<long long>& v) {
   return out + "]";
 }
 
-void write_json(const std::string& path,
+void write_json(const std::string& path, const std::string& machine_spec,
+                const std::string& transport,
+                const std::vector<std::pair<int, std::string>>& machines,
                 const std::vector<MatrixResult>& results) {
   const std::filesystem::path p(path);
   if (p.has_parent_path()) {
@@ -90,7 +100,13 @@ void write_json(const std::string& path,
     std::snprintf(buf, sizeof buf, "%.6g", v);
     return std::string(buf);
   };
-  out << "{\n  \"bench\": \"mp\",\n  \"matrices\": [\n";
+  out << "{\n  \"bench\": \"mp\",\n  \"machine_spec\": \"" << machine_spec
+      << "\",\n  \"transport\": \"" << transport << "\",\n"
+      << "  \"machines\": {";
+  for (std::size_t i = 0; i < machines.size(); ++i)
+    out << (i ? ", " : "") << "\"" << machines[i].first
+        << "\": " << machines[i].second;
+  out << "},\n  \"matrices\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const MatrixResult& m = results[i];
     out << "    {\"name\": \"" << m.name << "\", \"n\": " << m.n
@@ -133,7 +149,15 @@ int main(int argc, char** argv) {
   names.push_back("goodwin");
   names = opt.select(names);
 
-  print_preamble("Message-passing SPMD runtime (in-process transport)", opt);
+  const std::string machine_spec =
+      opt.machine.empty() ? "t3e" : opt.machine;
+  print_preamble("Message-passing SPMD runtime (" + opt.transport +
+                     " transport, machine " + machine_spec + ")",
+                 opt);
+  std::vector<std::pair<int, std::string>> machines;
+  for (const int ranks : rank_counts)
+    machines.emplace_back(
+        ranks, sim::machine_json(sim::resolve_machine(machine_spec, ranks)));
 
   TextTable table("bench_mp — message-passing vs shared-memory execution");
   table.set_header({"matrix", "program", "ranks", "seq s", "mp s", "sm s",
@@ -159,7 +183,7 @@ int main(int argc, char** argv) {
     mr.sequential_store_bytes = ref.data().size() * 8;
 
     for (const int ranks : rank_counts) {
-      const sim::MachineModel m = sim::MachineModel::cray_t3e(ranks);
+      const sim::MachineModel m = sim::resolve_machine(machine_spec, ranks);
       struct Variant {
         const char* label;
         bool two_d;
@@ -183,10 +207,13 @@ int main(int argc, char** argv) {
         const sim::MpMemoryPrediction pred = sim::predict_mp_memory(lay, prog);
 
         SStarNumeric mp(lay);
+        exec::MpOptions mpopt;
+        if (opt.transport == "proc")
+          mpopt.transport_kind = exec::MpOptions::TransportKind::kProc;
         trace::TraceCollector collector;
         if (!opt.trace_path.empty()) collector.install();
         const exec::MpStats st =
-            exec::execute_program_mp(prog, p.setup.permuted, mp);
+            exec::execute_program_mp(prog, p.setup.permuted, mp, mpopt);
         if (!opt.trace_path.empty()) {
           collector.uninstall();
           write_trace(opt.trace_path,
@@ -241,6 +268,6 @@ int main(int argc, char** argv) {
   table.print();
 
   write_json(opt.json_path.empty() ? "results/bench_mp.json" : opt.json_path,
-             results);
+             machine_spec, opt.transport, machines, results);
   return 0;
 }

@@ -43,10 +43,19 @@ Options Options::parse(int argc, char** argv) {
       opt.json_path = *v;
     } else if (auto v = value("--trace=")) {
       opt.trace_path = *v;
+    } else if (auto v = value("--machine=")) {
+      opt.machine = *v;
+    } else if (auto v = value("--transport=")) {
+      opt.transport = *v;
+      if (opt.transport != "inproc" && opt.transport != "proc") {
+        std::fprintf(stderr, "--transport must be inproc or proc\n");
+        std::exit(2);
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "flags: --full --scale=F --seed=N --max-block=N --amalg=N "
-          "--matrices=a,b,c --threads=1,2,4 --json=PATH --trace=PATH\n");
+          "--matrices=a,b,c --threads=1,2,4 --json=PATH --trace=PATH "
+          "--machine=PRESET|FILE.json --transport=inproc|proc\n");
       std::exit(0);
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // google-benchmark flags pass through (bench_kernels).

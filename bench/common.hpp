@@ -17,6 +17,11 @@
 //   --trace=<path>    Chrome trace_event JSON of each executor run
 //                     (real-execution benches; one file per run, the
 //                     run tag inserted before the extension)
+//   --machine=<spec>  machine model preset name or JSON spec file
+//                     (sim/machine_spec; benches that price against a
+//                     machine — default t3e)
+//   --transport=<t>   inproc|proc — how MP benches realize ranks
+//                     (threads vs OS processes; see exec/lu_mp)
 #pragma once
 
 #include <optional>
@@ -41,6 +46,8 @@ struct Options {
   std::vector<int> threads;  ///< real-execution thread counts (empty = bench default)
   std::string json_path;     ///< where to write JSON results (empty = bench default)
   std::string trace_path;    ///< Chrome trace base path (empty = no tracing)
+  std::string machine;  ///< preset/JSON spec ("" = the bench's default)
+  std::string transport = "inproc"; ///< "inproc" | "proc" (MP benches)
 
   static Options parse(int argc, char** argv);
 

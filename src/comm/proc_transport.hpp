@@ -1,0 +1,80 @@
+// Out-of-process transport: the second implementation behind the
+// Transport seam (DESIGN.md §16). Ranks are real OS processes (or
+// threads — the primitives are process-shared either way) exchanging
+// messages through one anonymous MAP_SHARED segment:
+//
+//   [ header | per-rank state | message pool ]
+//
+// The header holds a PTHREAD_PROCESS_SHARED **robust** mutex (so a
+// peer dying while holding the lock surfaces as EOWNERDEAD + a pinned
+// abort instead of a hang) and the abort/finished bookkeeping; each
+// rank has a process-shared condition variable on CLOCK_MONOTONIC
+// (futex-backed on Linux) plus an intrusive FIFO of pool offsets; the
+// pool is a bump allocator — sends never block and never reuse nodes,
+// preserving the liveness argument the exact deadlock detector rests
+// on (see transport.hpp). Pool exhaustion is a loud abort naming the
+// capacity, not a stall.
+//
+// The segment must be created BEFORE the rank processes fork (it is
+// inherited by address-space copy); exec/lu_mp's proc driver does
+// exactly that. Semantics — matching, FIFO per (src, dst, tag),
+// wildcards, exact deadlock detection, watchdog, per-rank stats,
+// first-abort-wins, trace events — mirror InProcTransport line for
+// line; the cross-transport differential tests pin factors bitwise
+// across the two.
+#pragma once
+
+#include <cstddef>
+
+#include "comm/transport.hpp"
+
+namespace sstar::comm {
+
+class ProcTransport final : public Transport {
+ public:
+  /// Default message-pool capacity. Pages are zero-fill-on-demand, so
+  /// untouched capacity costs address space only.
+  static constexpr std::size_t kDefaultPoolBytes = std::size_t{256} << 20;
+
+  /// Create the shared segment for `ranks` mailboxes. Must run in the
+  /// parent before any rank process forks. Throws TransportError when
+  /// the platform lacks process-shared robust primitives.
+  explicit ProcTransport(int ranks, double watchdog_seconds = 120.0,
+                         std::size_t pool_bytes = kDefaultPoolBytes);
+  ~ProcTransport() override;
+
+  ProcTransport(const ProcTransport&) = delete;
+  ProcTransport& operator=(const ProcTransport&) = delete;
+
+  int ranks() const override { return nranks_; }
+  void send(int src, int dst, int tag,
+            std::vector<std::uint8_t> payload) override;
+  Message recv(int rank, int src, int tag) override;
+  bool probe(int rank, int src, int tag) override;
+  void finish(int rank) override;
+  void abort(const std::string& reason) override;
+  RankCommStats stats(int rank) const override;
+
+ private:
+  struct Shared;     // segment header (defined in the .cpp)
+  struct RankState;  // per-rank shared state
+
+  RankState* rank_state(int r) const;
+  // All *_locked helpers require the segment mutex. lock_mu handles
+  // EOWNERDEAD (peer died holding the lock): the state is made
+  // consistent and the transport poisoned with a pinned diagnostic.
+  void lock_mu() const;
+  void unlock_mu() const;
+  std::uint64_t find_match_locked(RankState& rs, int src, int tag,
+                                  std::uint64_t* prev_out) const;
+  std::string dump_locked() const;
+  bool deadlock_locked() const;
+  void abort_locked(bool deadlock, const std::string& reason) const;
+
+  Shared* sh_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  int nranks_ = 0;
+  double watchdog_seconds_ = 0.0;
+};
+
+}  // namespace sstar::comm

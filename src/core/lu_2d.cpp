@@ -20,6 +20,15 @@ struct Builder {
   int pr, pc;
   sim::ParallelProgram prog;
 
+  // Latency charges are link-aware (DESIGN.md §16): the serialized
+  // pivot rounds and delayed-interchange exchanges of column c pay the
+  // slowest link among that processor column's rank pairs, and the
+  // global barrier pays the machine's slowest occupied link. On a flat
+  // machine every latency_between() is the scalar m.latency, so these
+  // reduce to the historic charges bit-for-bit.
+  std::vector<double> col_lat;  // per grid column
+  double max_lat;
+
   // Ids of the current step's tasks (barrier bookkeeping for sync mode).
   std::vector<sim::TaskId> step_tasks;
   sim::TaskId prev_barrier = -1;
@@ -27,7 +36,26 @@ struct Builder {
   Builder(const BlockLayout& l, const sim::MachineModel& mm, bool as,
           SStarNumeric* num, const std::vector<int>* od)
       : lay(l), m(mm), async(as), numeric(num), offd(od), pr(mm.grid.rows),
-        pc(mm.grid.cols), prog(mm.processors) {}
+        pc(mm.grid.cols), prog(mm.processors),
+        col_lat(static_cast<std::size_t>(mm.grid.cols), mm.latency),
+        max_lat(mm.latency) {
+    if (pr > 1) {
+      for (int c = 0; c < pc; ++c) {
+        double lat = 0.0;
+        for (int r = 0; r < pr; ++r)
+          for (int r2 = r + 1; r2 < pr; ++r2)
+            lat = std::max(lat, m.latency_between(proc(r, c), proc(r2, c)));
+        col_lat[static_cast<std::size_t>(c)] = lat;
+      }
+    }
+    if (pr * pc > 1) {
+      double lat = 0.0;
+      for (int p = 0; p < pr * pc; ++p)
+        for (int q = p + 1; q < pr * pc; ++q)
+          lat = std::max(lat, m.latency_between(p, q));
+      max_lat = lat;
+    }
+  }
 
   // Columns of block k whose pivot row actually moves. Without realized
   // counts every column is charged (the historic worst case, == width);
@@ -103,7 +131,9 @@ struct Builder {
     const double log_pr = std::ceil(std::log2(std::max(2, pr)));
     const double piv_seconds =
         m.compute_seconds(static_cast<double>(w) * pr, 0.0, 0.0) +
-        (pr > 1 ? (w + moved_cols(k)) * log_pr * m.latency : 0.0);
+        (pr > 1 ? (w + moved_cols(k)) * log_pr *
+                      col_lat[static_cast<std::size_t>(kc)]
+                : 0.0);
     ids.fp = add(proc(kr, kc), piv_seconds, "FP(" + std::to_string(k) + ")",
                  k, kKindFactor, std::move(run),
                  {{sim::KernelCall::Kind::kFactor, k, k}});
@@ -180,7 +210,8 @@ struct Builder {
         // share of the trailing columns, charged at BLAS-1 speed.
         double cost = m.compute_seconds(moved * ncols_total / pc, 0.0, 0.0);
         if (pr > 1)
-          cost += moved * m.latency * (pr - 1.0) / pr;
+          cost += moved * col_lat[static_cast<std::size_t>(c)] * (pr - 1.0) /
+                  pr;
         if (r == kr) cost += trsm_secs[c];
         const sim::TaskId id =
             add(proc(r, c), cost, "SW(" + std::to_string(k) + ")", k,
@@ -279,7 +310,7 @@ struct Builder {
     sim::TaskDef def;
     def.proc = 0;
     def.seconds =
-        2.0 * m.latency * std::ceil(std::log2(std::max(2, pr * pc)));
+        2.0 * max_lat * std::ceil(std::log2(std::max(2, pr * pc)));
     def.label = "B(" + std::to_string(k) + ")";
     def.stage = k;
     def.kind = kKindOther;

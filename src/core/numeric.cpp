@@ -599,64 +599,160 @@ void SStarNumeric::solve_multi(double* b, int nrhs) const {
   }
 }
 
+namespace {
+
+// Reversed-transposed copy of a w x w diagonal block: dr(i, j) =
+// D(w-1-j, w-1-i). Under the index reversal i -> w-1-i the transposed
+// upper factor U_kkᵀ (lower triangular) lands in dr's UPPER part and
+// the transposed unit strict-lower factor L_kkᵀ lands in dr's STRICT
+// LOWER part, so this one copy feeds rhs_upper_solve for the Uᵀ stage
+// and rhs_lower_solve for the Lᵀ stage — the transpose solves ride the
+// existing multi-RHS panel kernels instead of growing new ones.
+std::vector<double> reversed_diag_copy(const double* d, int w) {
+  std::vector<double> dr(static_cast<std::size_t>(w) * w);
+  for (int j = 0; j < w; ++j)
+    for (int i = 0; i < w; ++i)
+      dr[static_cast<std::size_t>(j) * w + i] =
+          d[static_cast<std::ptrdiff_t>(w - 1 - i) * w + (w - 1 - j)];
+  return dr;
+}
+
+// Run one of the reversed triangular solves on the block's w panel
+// rows: shuttle them (row-reversed) through a scratch panel, solve
+// against the reversed-transposed diagonal, shuttle back.
+void reversed_diag_solve(const std::vector<double>& dr, int w, double* bk,
+                         int ld, int ncols, bool upper) {
+  std::vector<double> rev(static_cast<std::size_t>(w) * ncols);
+  for (int i = 0; i < w; ++i) {
+    const double* src = bk + static_cast<std::ptrdiff_t>(w - 1 - i) * ld;
+    std::copy(src, src + ncols,
+              rev.data() + static_cast<std::size_t>(i) * ncols);
+  }
+  if (upper)
+    blas::rhs_upper_solve(w, ncols, dr.data(), w, rev.data(), ncols);
+  else
+    blas::rhs_lower_solve(w, ncols, dr.data(), w, rev.data(), ncols);
+  for (int i = 0; i < w; ++i) {
+    const double* src = rev.data() + static_cast<std::size_t>(i) * ncols;
+    std::copy(src, src + ncols,
+              bk + static_cast<std::ptrdiff_t>(w - 1 - i) * ld);
+  }
+}
+
+}  // namespace
+
+void SStarNumeric::transpose_forward_block_panel(int k, double* rhs, int ld,
+                                                 int ncols) const {
+  // Step-1 body of the transposed elimination sequence: with the
+  // forward application b -> U^{-1} (E_N ... E_1 b), E_k = M_k P_k,
+  // A^{-T} b = E_1ᵀ ... E_Nᵀ U^{-T} b. This stage (blocks ascending)
+  // computes block k's share of y = U^{-T} b: solve U_kkᵀ on the block
+  // rows, then scatter the U panel's transposed action into the panel
+  // columns.
+  const BlockLayout& lay = *layout_;
+  const int w = lay.width(k);
+  const int base = lay.start(k);
+  const auto& pcols = lay.panel_cols(k);
+  const int nc = static_cast<int>(pcols.size());
+  SSTAR_CHECK_MSG(pivot_of_col_[base] >= 0, "solve before factorize");
+  double* bk = rhs + static_cast<std::ptrdiff_t>(base) * ld;
+
+  reversed_diag_solve(reversed_diag_copy(store_->diag(k), w), w, bk, ld,
+                      ncols, /*upper=*/true);
+  if (nc > 0) {
+    // b[pcols] -= U_k·ᵀ y: the panel update needs a(i, p) = U(p, i),
+    // so hand it a transposed copy of the U panel.
+    const double* u = store_->u_panel(k);
+    std::vector<double> ut(static_cast<std::size_t>(nc) * w);
+    for (int c = 0; c < nc; ++c)
+      for (int ml = 0; ml < w; ++ml)
+        ut[static_cast<std::size_t>(ml) * nc + c] =
+            u[static_cast<std::ptrdiff_t>(c) * w + ml];
+    blas::rhs_panel_update(nc, w, ncols, ut.data(), nc, bk, ld, nullptr,
+                           rhs, ld, pcols.data(),
+                           /*skip_zero_x_rows=*/true);
+  }
+}
+
+void SStarNumeric::transpose_backward_block_panel(int k, double* rhs, int ld,
+                                                  int ncols) const {
+  // Step-2 body: E_kᵀ = P_kᵀ M_kᵀ (blocks descending). M_kᵀ subtracts,
+  // into each pivot position, the dot product of its L column with the
+  // current panel — the L-panel gather first (those rows are outside
+  // the block and already final), then the unit L_kkᵀ solve on the
+  // block rows; P_kᵀ replays the block's transpositions in reverse.
+  const BlockLayout& lay = *layout_;
+  const int w = lay.width(k);
+  const int base = lay.start(k);
+  const auto& prows = lay.panel_rows(k);
+  const int nr = static_cast<int>(prows.size());
+  SSTAR_CHECK_MSG(pivot_of_col_[base] >= 0, "solve before factorize");
+  double* bk = rhs + static_cast<std::ptrdiff_t>(base) * ld;
+
+  if (nr > 0) {
+    // bk -= L_panelᵀ b[prows]: a(ml, i) = L(prows[i], ml).
+    const double* p = store_->l_panel(k);
+    std::vector<double> lt(static_cast<std::size_t>(w) * nr);
+    for (int ml = 0; ml < w; ++ml)
+      for (int i = 0; i < nr; ++i)
+        lt[static_cast<std::size_t>(i) * w + ml] =
+            p[static_cast<std::ptrdiff_t>(ml) * nr + i];
+    blas::rhs_panel_update(w, nr, ncols, lt.data(), w, rhs, ld,
+                           prows.data(), bk, ld, nullptr,
+                           /*skip_zero_x_rows=*/false);
+  }
+  reversed_diag_solve(reversed_diag_copy(store_->diag(k), w), w, bk, ld,
+                      ncols, /*upper=*/false);
+  for (int ml = w - 1; ml >= 0; --ml) {
+    const int m = base + ml;
+    const int t = pivot_of_col_[m];
+    if (t != m)
+      blas::dswap(ncols, rhs + static_cast<std::ptrdiff_t>(m) * ld,
+                  rhs + static_cast<std::ptrdiff_t>(t) * ld);
+  }
+}
+
 std::vector<double> SStarNumeric::solve_transpose(
     std::vector<double> b) const {
+  SSTAR_CHECK(static_cast<int>(b.size()) == layout_->n());
+  // A column-major n x 1 vector IS a row-major ld = 1 panel.
+  solve_transpose_multi(b.data(), 1);
+  return b;
+}
+
+void SStarNumeric::solve_transpose_multi(double* b, int nrhs) const {
   const BlockLayout& lay = *layout_;
   const int n = lay.n();
-  SSTAR_CHECK(static_cast<int>(b.size()) == n);
-
-  // The forward factor application is b -> U^{-1} (E_N ... E_1 b) with
-  // E_k = M_k P_k (block swaps, then block eliminations). Hence
-  // A^{-T} b = E_1ᵀ ... E_Nᵀ U^{-T} b.
-
-  // Step 1: y = U^{-T} b, a forward substitution over U rows-as-columns.
-  for (int k = 0; k < lay.num_blocks(); ++k) {
-    const int w = lay.width(k);
-    const int base = lay.start(k);
-    const double* d = store_->diag(k);
-    const double* u = store_->u_panel(k);
-    const auto& pcols = lay.panel_cols(k);
-    const int nc = static_cast<int>(pcols.size());
-    for (int ml = 0; ml < w; ++ml) {
-      const int m = base + ml;
-      SSTAR_CHECK_MSG(pivot_of_col_[m] >= 0, "solve before factorize");
-      b[m] /= d[static_cast<std::ptrdiff_t>(ml) * w + ml];
-      const double ym = b[m];
-      if (ym == 0.0) continue;
-      for (int cl = ml + 1; cl < w; ++cl)
-        b[base + cl] -= d[static_cast<std::ptrdiff_t>(cl) * w + ml] * ym;
-      for (int c = 0; c < nc; ++c)
-        b[pcols[c]] -= u[static_cast<std::ptrdiff_t>(c) * w + ml] * ym;
-    }
+  const int nb = lay.num_blocks();
+  SSTAR_CHECK(nrhs >= 0);
+  if (nrhs == 0) return;
+  SSTAR_CHECK(b != nullptr);
+  if (nrhs == 1) {
+    for (int k = 0; k < nb; ++k)
+      transpose_forward_block_panel(k, b, 1, 1);
+    for (int k = nb - 1; k >= 0; --k)
+      transpose_backward_block_panel(k, b, 1, 1);
+    return;
   }
-
-  // Step 2: apply E_kᵀ = P_kᵀ M_kᵀ for k = N-1 .. 0. M_kᵀ subtracts,
-  // into each pivot position, the dot product of its L column with the
-  // current vector (columns in descending order); P_kᵀ replays the
-  // block's transpositions in reverse.
-  for (int k = lay.num_blocks() - 1; k >= 0; --k) {
-    const int w = lay.width(k);
-    const int base = lay.start(k);
-    const double* d = store_->diag(k);
-    const double* p = store_->l_panel(k);
-    const auto& prows = lay.panel_rows(k);
-    const int nr = static_cast<int>(prows.size());
-    for (int ml = w - 1; ml >= 0; --ml) {
-      const int m = base + ml;
-      double acc = 0.0;
-      const double* cd = d + static_cast<std::ptrdiff_t>(ml) * w;
-      for (int i = ml + 1; i < w; ++i) acc += cd[i] * b[base + i];
-      const double* cp = p + static_cast<std::ptrdiff_t>(ml) * nr;
-      for (int i = 0; i < nr; ++i) acc += cp[i] * b[prows[i]];
-      b[m] -= acc;
-    }
-    for (int ml = w - 1; ml >= 0; --ml) {
-      const int m = base + ml;
-      const int t = pivot_of_col_[m];
-      if (t != m) std::swap(b[m], b[t]);
-    }
+  // Transpose into a row-major panel, sweep the blocked transpose
+  // stages once, transpose back — exactly solve_multi's shape, so each
+  // result column is bitwise what solve_transpose computes for it.
+  std::vector<double> panel(static_cast<std::size_t>(n) *
+                            static_cast<std::size_t>(nrhs));
+  for (int c = 0; c < nrhs; ++c) {
+    const double* bc = b + static_cast<std::ptrdiff_t>(c) * n;
+    for (int i = 0; i < n; ++i)
+      panel[static_cast<std::size_t>(i) * nrhs + c] = bc[i];
   }
-  return b;
+  for (int k = 0; k < nb; ++k)
+    transpose_forward_block_panel(k, panel.data(), nrhs, nrhs);
+  for (int k = nb - 1; k >= 0; --k)
+    transpose_backward_block_panel(k, panel.data(), nrhs, nrhs);
+  for (int c = 0; c < nrhs; ++c) {
+    double* bc = b + static_cast<std::ptrdiff_t>(c) * n;
+    for (int i = 0; i < n; ++i)
+      bc[i] = panel[static_cast<std::size_t>(i) * nrhs + c];
+  }
 }
 
 void SStarNumeric::reconstruct_pa_lu(std::vector<int>* perm, DenseMatrix* l,

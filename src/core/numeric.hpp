@@ -109,7 +109,28 @@ class SStarNumeric {
   /// elimination sequence: Uᵀ forward solve, then the adjoint of each
   /// block's eliminate-and-swap stage in reverse). Needed by the 1-norm
   /// condition estimator and for adjoint/least-squares workflows.
+  /// The ncols == 1 case of the transpose panel stages below.
   std::vector<double> solve_transpose(std::vector<double> b) const;
+
+  /// Blocked multi-RHS TRANSPOSE stages over a row-major panel: the
+  /// Aᵀ X = B counterparts of forward/backward_block_panel, routed
+  /// through the same dispatched rhs_* kernels (an index reversal maps
+  /// each block's transposed triangular factors onto the existing
+  /// upper/lower panel solves — see reversed_diag_copy in numeric.cpp).
+  /// solve_transpose_multi over blocks 0..N-1 (transpose_forward) then
+  /// N-1..0 (transpose_backward) is the transposed elimination
+  /// sequence; per RHS column the arithmetic is bitwise-identical to
+  /// solve_transpose on that column alone (kernel column-lane
+  /// independence, blas/kernel_backend.hpp).
+  void transpose_forward_block_panel(int k, double* rhs, int ld,
+                                     int ncols) const;
+  void transpose_backward_block_panel(int k, double* rhs, int ld,
+                                      int ncols) const;
+
+  /// Solve Aᵀ X = B for `nrhs` right-hand sides stored column-major in
+  /// one n x nrhs array (the batched form of solve_transpose, mirroring
+  /// solve_multi's transpose-to-panel sweep).
+  void solve_transpose_multi(double* b, int nrhs) const;
 
   /// Solve A X = B for `nrhs` right-hand sides stored column-major in
   /// one n x nrhs array. Transposes into a row-major panel and sweeps

@@ -34,6 +34,7 @@
 // DeadlockError with a per-rank dump — see comm/transport.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -51,13 +52,32 @@ struct MpOptions {
   /// hang (only reached when progress stalls without a provable
   /// deadlock, e.g. a wedged peer thread).
   double watchdog_seconds = 120.0;
+  /// How ranks are realized when `transport` is null:
+  ///   kInProc — one thread per rank, InProcTransport mailboxes;
+  ///   kProc   — one OS PROCESS per rank, ProcTransport shared-memory
+  ///             mailboxes (comm/proc_transport; Linux only). Ranks then
+  ///             share no address space at all: factors, pivots, memory
+  ///             stats and trace events travel back through an explicit
+  ///             result segment, and a rank process dying mid-run aborts
+  ///             the transport with a pinned diagnostic instead of
+  ///             hanging its peers. Factors are bitwise-identical across
+  ///             the two kinds (tests/test_mp_transport_matrix.cpp).
+  enum class TransportKind { kInProc, kProc };
+  TransportKind transport_kind = TransportKind::kInProc;
+  /// kProc: shared-memory message-pool capacity per run (bump-allocated;
+  /// untouched pages cost nothing). See ProcTransport::kDefaultPoolBytes.
+  std::size_t proc_pool_bytes = std::size_t{256} << 20;
   /// Plug in an external transport (the MPI seam). Must satisfy
   /// ranks() == program processors; stats are read back from it.
-  /// nullptr = a fresh InProcTransport per call.
+  /// nullptr = a fresh transport of `transport_kind` per call. With
+  /// kProc the transport must use process-shared primitives.
   comm::Transport* transport = nullptr;
   /// TEST HOOK: called once per rank on its freshly built store, before
-  /// any rank thread starts (e.g. to force an early panel release with
+  /// the rank runs (e.g. to force an early panel release with
   /// set_release_override and prove the failure is caught loudly).
+  /// Under kInProc it runs in the caller's thread; under kProc it runs
+  /// INSIDE the forked rank process — which also makes it the fault
+  /// injection point for peer-death tests.
   std::function<void(int rank, DistBlockStore& store)> store_hook;
 };
 

@@ -167,7 +167,8 @@ Schedule1D graph_schedule(const LuTaskGraph& graph,
           graph.task(t).type == LuTask::Type::kFactor &&
           graph.task(succ).type == LuTask::Type::kUpdate &&
           graph.task(succ).k == graph.task(t).k) {
-        arrive += m.comm_seconds(costs.factor_bytes[graph.task(t).k]);
+        arrive += m.comm_seconds_between(best_proc, task_proc[succ],
+                                         costs.factor_bytes[graph.task(t).k]);
       }
       data_ready[succ] = std::max(data_ready[succ], arrive);
       if (--remaining[succ] == 0)

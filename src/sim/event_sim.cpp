@@ -105,7 +105,11 @@ SimulationResult simulate(const ParallelProgram& prog,
       const bool pure_dep = msg.bytes < 0.0;
       double arrive = res.finish[t];
       if (cross && !pure_dep) {
-        arrive += machine.comm_seconds(msg.bytes);
+        // Priced on the link the (src, dst) rank pair actually
+        // crosses; identical to comm_seconds(bytes) on flat machines.
+        arrive += machine.comm_seconds_between(prog.tasks_[msg.from].proc,
+                                               prog.tasks_[msg.to].proc,
+                                               msg.bytes);
         res.comm_volume_bytes += msg.bytes;
         ++res.message_count;
       }

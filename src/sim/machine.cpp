@@ -1,5 +1,7 @@
 #include "sim/machine.hpp"
 
+#include <cstdio>
+
 #include "util/check.hpp"
 
 namespace sstar::sim {
@@ -52,11 +54,86 @@ MachineModel MachineModel::cray_t3e(int p) {
   return m;
 }
 
+std::vector<int> map_grid_ranks(const Topology& topo, const Grid& grid,
+                                GridMapping how) {
+  const int p = grid.size();
+  SSTAR_CHECK_MSG(p >= 1 && p <= topo.pes(),
+                  "grid of " << p << " ranks does not fit topology with "
+                             << topo.pes() << " PEs");
+  std::vector<int> pe(static_cast<std::size_t>(p));
+  if (how == GridMapping::kTopologyAware) {
+    // Column-team-major: grid column c's pr ranks get the consecutive
+    // (locality-major) PE range [c * pr, (c + 1) * pr).
+    for (int r = 0; r < grid.rows; ++r)
+      for (int c = 0; c < grid.cols; ++c)
+        pe[static_cast<std::size_t>(r * grid.cols + c)] = c * grid.rows + r;
+  } else {
+    // Cyclic across nodes: rank r -> node (r mod nodes), filling each
+    // node's PEs in arrival order.
+    std::vector<int> next(static_cast<std::size_t>(topo.nodes), 0);
+    for (int r = 0; r < p; ++r) {
+      const int node = r % topo.nodes;
+      const int slot = next[static_cast<std::size_t>(node)]++;
+      SSTAR_CHECK(slot < topo.pes_per_node());
+      pe[static_cast<std::size_t>(r)] = node * topo.pes_per_node() + slot;
+    }
+  }
+  return pe;
+}
+
+MachineModel MachineModel::hier_cluster(int p) {
+  MachineModel m;
+  m.name = "hier4x8";
+  m.processors = p;
+  m.grid = default_grid(p);
+  m.blas1_rate = 150e6;
+  m.blas2_rate = 255e6;
+  m.blas3_rate = 388e6;
+  m.task_overhead = 4e-6;
+  m.hier = true;
+  m.topology.nodes = 4;
+  m.topology.sockets_per_node = 2;
+  m.topology.pes_per_socket = 4;
+  m.topology.socket_link = {0.2e-6, 2e9};
+  m.topology.node_link = {0.8e-6, 1.2e9};
+  m.topology.network_link = {5.0e-6, 0.25e9};
+  // Scalars hold the worst (network) link for placement-agnostic uses.
+  m.latency = m.topology.network_link.latency;
+  m.bandwidth = m.topology.network_link.bandwidth;
+  m.mapping = GridMapping::kTopologyAware;
+  m.rank_to_pe = map_grid_ranks(m.topology, m.grid, m.mapping);
+  return m;
+}
+
 MachineModel MachineModel::with_grid(Grid g) const {
   SSTAR_CHECK(g.size() == processors);
   MachineModel m = *this;
   m.grid = g;
+  if (m.hier) m.rank_to_pe = map_grid_ranks(m.topology, g, m.mapping);
   return m;
+}
+
+MachineModel MachineModel::with_mapping(GridMapping how) const {
+  MachineModel m = *this;
+  if (!m.hier) return m;
+  m.mapping = how;
+  m.rank_to_pe = map_grid_ranks(m.topology, m.grid, how);
+  return m;
+}
+
+std::string MachineModel::describe() const {
+  char buf[192];
+  if (!hier) {
+    std::snprintf(buf, sizeof(buf), "%s: p=%d grid=%dx%d flat", name.c_str(),
+                  processors, grid.rows, grid.cols);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%s: p=%d grid=%dx%d %s, %s mapping",
+                name.c_str(), processors, grid.rows, grid.cols,
+                topology.describe().c_str(),
+                mapping == GridMapping::kTopologyAware ? "topology-aware"
+                                                       : "round-robin");
+  return buf;
 }
 
 }  // namespace sstar::sim

@@ -9,6 +9,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
+
+#include "sim/topology.hpp"
 
 namespace sstar::sim {
 
@@ -23,6 +26,22 @@ struct Grid {
 /// p_c/p_r ~ 2 with both powers of two when possible (§5.2: "in practice
 /// we set p_c/p_r = 2").
 Grid default_grid(int p);
+
+/// How a 2D grid's ranks are placed onto a Topology's PEs.
+enum class GridMapping {
+  /// Cyclic across nodes (rank r -> node r mod nodes): the naive
+  /// placement that scatters every column team over the network.
+  kRoundRobin,
+  /// Column-team-major: the pr ranks of grid column c occupy the
+  /// consecutive PE range [c * pr, (c + 1) * pr), so the heavy
+  /// Factor -> Update fan-out of the 2D code stays on the fastest
+  /// links the shape allows.
+  kTopologyAware,
+};
+
+/// Rank -> PE placement of `grid` on `topo` (grid.size() <= topo.pes()).
+std::vector<int> map_grid_ranks(const Topology& topo, const Grid& grid,
+                                GridMapping how);
 
 struct MachineModel {
   std::string name;
@@ -44,13 +63,43 @@ struct MachineModel {
   /// from fewer, larger tasks as much as from more BLAS-3.
   double task_overhead = 10e-6;
 
+  // Hierarchical extension (DESIGN.md §16). When `hier` is set, the
+  // scalar (latency, bandwidth) above hold the slowest (network) link
+  // as a worst-case for placement-agnostic formulas, and the per-link
+  // methods below price by the link a (src, dst) rank pair crosses.
+  // Flat machines (hier == false) are bit-for-bit the historic model:
+  // every *_between method degrades to the scalar expression.
+  bool hier = false;
+  Topology topology;
+  GridMapping mapping = GridMapping::kTopologyAware;
+  std::vector<int> rank_to_pe;  ///< empty = identity placement
+
   /// Seconds to execute the given flop counts.
   double compute_seconds(double f1, double f2, double f3) const {
     return f1 / blas1_rate + f2 / blas2_rate + f3 / blas3_rate;
   }
-  /// Seconds for a message of `bytes` to arrive after send.
+  /// Seconds for a message of `bytes` to arrive after send
+  /// (placement-agnostic: the flat law, i.e. the worst link when
+  /// hierarchical).
   double comm_seconds(double bytes) const {
     return latency + bytes / bandwidth;
+  }
+
+  bool hierarchical() const { return hier; }
+  /// PE hosting rank r (identity when no explicit placement).
+  int pe_of_rank(int r) const {
+    return rank_to_pe.empty() ? r : rank_to_pe[static_cast<std::size_t>(r)];
+  }
+  /// Per-message latency of the link rank p -> rank q crosses.
+  double latency_between(int p, int q) const {
+    if (!hier) return latency;
+    return topology.link_between(pe_of_rank(p), pe_of_rank(q)).latency;
+  }
+  /// Seconds for `bytes` from rank p to rank q, priced on the actual
+  /// link. Exactly comm_seconds(bytes) on a flat machine.
+  double comm_seconds_between(int p, int q, double bytes) const {
+    if (!hier) return comm_seconds(bytes);
+    return topology.link_between(pe_of_rank(p), pe_of_rank(q)).seconds(bytes);
   }
 
   /// Cray T3D: DGEMM 103 MFLOPS, DGEMV 85 MFLOPS (BSIZE = 25),
@@ -59,8 +108,19 @@ struct MachineModel {
   /// Cray T3E: DGEMM 388 MFLOPS, DGEMV 255 MFLOPS, 500 MB/s peak,
   /// ~1 us round-trip-average latency.
   static MachineModel cray_t3e(int p);
+  /// Hierarchical demo cluster: 4 nodes x 2 sockets x 4 PEs with
+  /// T3E-class compute rates and intra-socket << intra-node <<
+  /// inter-node links. p <= 32; ranks placed topology-aware.
+  static MachineModel hier_cluster(int p);
   /// Same rates as cray_t3d/t3e but a 1 x p grid (for 1D codes).
+  /// Hierarchical machines re-derive the rank placement for the new
+  /// grid shape under the current mapping policy.
   MachineModel with_grid(Grid g) const;
+  /// Copy with the given mapping policy (re-deriving rank_to_pe);
+  /// no-op on flat machines.
+  MachineModel with_mapping(GridMapping how) const;
+  /// One-line description for logs: name, grid, topology, mapping.
+  std::string describe() const;
 };
 
 }  // namespace sstar::sim

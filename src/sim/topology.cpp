@@ -1,0 +1,14 @@
+#include "sim/topology.hpp"
+
+#include <cstdio>
+
+namespace sstar::sim {
+
+std::string Topology::describe() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%dx%dx%d nodes x sockets x PEs", nodes,
+                sockets_per_node, pes_per_socket);
+  return buf;
+}
+
+}  // namespace sstar::sim

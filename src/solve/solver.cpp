@@ -215,4 +215,36 @@ std::vector<double> Solver::solve_transpose(
   return x;
 }
 
+std::vector<double> Solver::solve_transpose_multi(
+    const std::vector<double>& b, int nrhs) const {
+  SSTAR_CHECK_MSG(factorized_, "solve_transpose_multi() before factorize()");
+  const int n = setup_.permuted.rows();
+  SSTAR_CHECK(nrhs >= 0);
+  SSTAR_CHECK(static_cast<int>(b.size()) ==
+              static_cast<std::int64_t>(n) * nrhs);
+  // Same permutation sandwich as solve_transpose, per RHS column: feed
+  // through the COLUMN permutation, read back through the ROW one.
+  const bool eq = !setup_.row_scale.empty();
+  std::vector<double> c(b.size());
+  for (int r = 0; r < nrhs; ++r) {
+    const double* src = b.data() + static_cast<std::ptrdiff_t>(r) * n;
+    double* dst = c.data() + static_cast<std::ptrdiff_t>(r) * n;
+    for (int j = 0; j < n; ++j) {
+      const int orig = setup_.col_perm[j];
+      dst[j] = eq ? src[orig] * setup_.col_scale[orig] : src[orig];
+    }
+  }
+  numeric_.solve_transpose_multi(c.data(), nrhs);
+  std::vector<double> x(b.size());
+  for (int r = 0; r < nrhs; ++r) {
+    const double* src = c.data() + static_cast<std::ptrdiff_t>(r) * n;
+    double* dst = x.data() + static_cast<std::ptrdiff_t>(r) * n;
+    for (int i = 0; i < n; ++i) {
+      const int orig = setup_.row_perm[i];
+      dst[orig] = eq ? src[i] * setup_.row_scale[orig] : src[i];
+    }
+  }
+  return x;
+}
+
 }  // namespace sstar

@@ -100,6 +100,12 @@ class Solver {
   std::vector<double> solve_multi(const std::vector<double>& b,
                                   int nrhs) const;
 
+  /// Solve Aᵀ X = B for nrhs right-hand sides (column-major n x nrhs)
+  /// through the batched transpose panel sweep; column r is bitwise
+  /// solve_transpose of column r.
+  std::vector<double> solve_transpose_multi(const std::vector<double>& b,
+                                            int nrhs) const;
+
   const SolverOptions& options() const { return opt_; }
   const SolverSetup& setup() const { return setup_; }
   const BlockLayout& layout() const { return *setup_.layout; }

@@ -307,25 +307,47 @@ TEST(CommAudit, AgreesWithPanelLifetimeOnMiscounts) {
 
 // --- dynamic cross-validation against recorded transport traffic --------
 
+// The recorded-traffic check is a property of the PLAN, not of what
+// carries the messages: it must hold whether the ranks were threads
+// over InProcTransport or OS processes over ProcTransport (whose trace
+// events travel back through the result segment before the parent
+// re-records them).
+std::vector<exec::MpOptions::TransportKind> traffic_transports() {
+  std::vector<exec::MpOptions::TransportKind> out = {
+      exec::MpOptions::TransportKind::kInProc};
+#if defined(__linux__)
+  out.push_back(exec::MpOptions::TransportKind::kProc);
+#endif
+  return out;
+}
+
 TEST(CommTraffic, RecordedMpTrafficMatchesPlan) {
   const auto f = Fixture::make(120, 5, 21, 10, 4);
-  for (const auto& [name, prog] : all_variants(f, 4)) {
-    const analysis::CommAuditReport statically =
-        analysis::audit_comm_plan(prog, *f.layout);
-    ASSERT_TRUE(statically.ok()) << name;
+  for (const auto kind : traffic_transports()) {
+    for (const auto& [name, prog] : all_variants(f, 4)) {
+      SCOPED_TRACE(::testing::Message()
+                   << name << " transport="
+                   << (kind == exec::MpOptions::TransportKind::kProc
+                           ? "proc"
+                           : "inproc"));
+      const analysis::CommAuditReport statically =
+          analysis::audit_comm_plan(prog, *f.layout);
+      ASSERT_TRUE(statically.ok());
 
-    trace::TraceCollector collector;
-    collector.install();
-    SStarNumeric result(*f.layout);
-    exec::execute_program_mp(prog, f.a, result);
-    collector.uninstall();
-    const trace::Trace tr = collector.take();
+      trace::TraceCollector collector;
+      collector.install();
+      SStarNumeric result(*f.layout);
+      exec::MpOptions opt;
+      opt.transport_kind = kind;
+      exec::execute_program_mp(prog, f.a, result, opt);
+      collector.uninstall();
+      const trace::Trace tr = collector.take();
 
-    const analysis::TrafficReport report =
-        analysis::check_recorded_traffic(prog, *f.layout, tr);
-    EXPECT_TRUE(report.ok()) << name << ": " << report.summary();
-    EXPECT_EQ(report.events_checked, statically.sends + statically.recvs)
-        << name;
+      const analysis::TrafficReport report =
+          analysis::check_recorded_traffic(prog, *f.layout, tr);
+      EXPECT_TRUE(report.ok()) << report.summary();
+      EXPECT_EQ(report.events_checked, statically.sends + statically.recvs);
+    }
   }
 }
 

@@ -36,6 +36,14 @@
 //        reference factor under the same policy, so the bitwise check
 //        certifies the policy-parameterized kernels),
 //        --watchdog=SECONDS, --audit, --memory,
+//        --transport=inproc|proc (how ranks are realized: threads over
+//        InProcTransport mailboxes, or real OS processes over the
+//        ProcTransport shared-memory segment — Linux only; factors are
+//        bitwise-identical either way and the same verification
+//        pipeline runs),
+//        --machine=PRESET|FILE.json (machine model the program is
+//        built and priced against: "t3d", "t3e", "hier4x8", or a JSON
+//        spec per DESIGN.md §16; default t3e),
 //        --trace=PATH (write a Chrome trace_event JSON of the MP run;
 //        analyze it with sstar_trace --load=PATH)
 #include <algorithm>
@@ -61,6 +69,7 @@
 #include "matrix/io.hpp"
 #include "matrix/suite.hpp"
 #include "sched/list_schedule.hpp"
+#include "sim/machine_spec.hpp"
 #include "sim/memory_model.hpp"
 #include "solve/solver.hpp"
 #include "trace/export.hpp"
@@ -85,6 +94,8 @@ int main(int argc, char** argv) {
   bool audit = false;
   bool memory = false;
   std::string trace_path;
+  std::string transport = "inproc";
+  std::string machine_spec = "t3e";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -147,6 +158,10 @@ int main(int argc, char** argv) {
       memory = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_path = arg.substr(8);
+    } else if (arg.rfind("--transport=", 0) == 0) {
+      transport = arg.substr(12);
+    } else if (arg.rfind("--machine=", 0) == 0) {
+      machine_spec = arg.substr(10);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return 2;
@@ -164,6 +179,17 @@ int main(int argc, char** argv) {
   }
   if (schedule != "ca" && schedule != "graph") {
     std::fprintf(stderr, "--schedule must be ca or graph\n");
+    return 2;
+  }
+  if (transport != "inproc" && transport != "proc") {
+    std::fprintf(stderr, "--transport must be inproc or proc\n");
+    return 2;
+  }
+  if (audit && transport == "proc") {
+    std::fprintf(stderr,
+                 "--audit records kernel block accesses in-process and "
+                 "cannot observe forked rank processes; use "
+                 "--transport=inproc with --audit\n");
     return 2;
   }
 #ifndef SSTAR_AUDIT_ENABLED
@@ -203,13 +229,14 @@ int main(int argc, char** argv) {
     std::printf("layout: %d column blocks\n", layout.num_blocks());
     std::printf("pivot policy: %s\n", opt.pivot.describe().c_str());
 
-    sim::MachineModel m = sim::MachineModel::cray_t3e(ranks);
+    sim::MachineModel m = sim::resolve_machine(machine_spec, ranks);
     if (shape.rows > 0) {
       SSTAR_CHECK_MSG(shape.size() == ranks,
                       "--shape " << shape.rows << "x" << shape.cols
                                  << " does not match --ranks=" << ranks);
       m = m.with_grid(shape);
     }
+    std::printf("machine: %s\n", sim::machine_json(m).c_str());
 
     // Build the SPMD program (no closures: kernels are interpreted
     // against per-rank replicas) — shared between execution and audit.
@@ -251,6 +278,11 @@ int main(int argc, char** argv) {
 #endif
     exec::MpOptions mpopt;
     mpopt.watchdog_seconds = watchdog;
+    if (transport == "proc")
+      mpopt.transport_kind = exec::MpOptions::TransportKind::kProc;
+    std::printf("transport: %s\n",
+                transport == "proc" ? "proc (one OS process per rank)"
+                                    : "inproc (one thread per rank)");
     // Always record the run's trace: the recorded-traffic check below
     // cross-validates every transport send/recv against the plan.
     trace::TraceCollector collector;
